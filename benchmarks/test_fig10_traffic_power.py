@@ -1,0 +1,86 @@
+"""Fig. 10: off-chip traffic breakdown (a) and average power (b)."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core.energy import average_power, energy_breakdown
+from repro.workloads import ALL_BENCHMARKS, DEEP_BENCHMARKS, SHALLOW_BENCHMARKS
+
+# Paper's Fig. 10 totals: (traffic, average power) per benchmark.
+PAPER_TRAFFIC_GB = {
+    "resnet20": 73, "logreg": 69, "lstm": 62, "packed_bootstrap": 2,
+    "unpacked_bootstrap": 0.060, "lola_cifar": 8,
+    "lola_mnist_uw": 0.055, "lola_mnist_ew": 0.122,
+}
+PAPER_POWER_W = {
+    "resnet20": 279, "logreg": 212, "lstm": 317, "packed_bootstrap": 248,
+    "unpacked_bootstrap": 122, "lola_cifar": 218,
+    "lola_mnist_uw": 81, "lola_mnist_ew": 98,
+}
+
+
+def test_fig10a_traffic_breakdown(benchmark, runs):
+    def collect():
+        return {n: runs.run(n) for n in ALL_BENCHMARKS}
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, res in results.items():
+        t = res.traffic_words
+        total = res.total_traffic_bytes / 1e9
+        bpw = res.bytes_per_word
+        rows.append([
+            name, f"{total:.2f}", f"{PAPER_TRAFFIC_GB[name]:.2f}",
+            f"{t['ksh'] * bpw / 1e9:.2f}", f"{t['inputs'] * bpw / 1e9:.2f}",
+            f"{t['interm_load'] * bpw / 1e9:.2f}",
+            f"{t['interm_store'] * bpw / 1e9:.2f}",
+        ])
+    emit("fig10a_traffic", format_table(
+        ["benchmark", "total GB", "paper GB", "KSH", "inputs",
+         "interm ld", "interm st"], rows,
+        title="Fig. 10a reproduction: off-chip traffic breakdown",
+    ))
+
+    # Deep benchmarks move tens of GB; totals within ~2.5x of the paper.
+    for name in DEEP_BENCHMARKS:
+        total = results[name].total_traffic_bytes / 1e9
+        assert 0.4 < total / PAPER_TRAFFIC_GB[name] < 2.5, name
+    # KSHs dominate bootstrapping traffic (Sec. 9.2).
+    pb = results["packed_bootstrap"].traffic_words
+    assert pb["ksh"] > 0.5 * sum(pb.values())
+    # Shallow footprints fit on chip: no intermediate eviction traffic.
+    for name in SHALLOW_BENCHMARKS:
+        t = results[name].traffic_words
+        assert t["interm_load"] == 0, name
+
+
+def test_fig10b_power_breakdown(benchmark, runs):
+    def collect():
+        out = {}
+        for name in ALL_BENCHMARKS:
+            res = runs.run(name)
+            out[name] = (energy_breakdown(res), average_power(res))
+        return out
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, (brk, watts) in results.items():
+        total = sum(brk.values())
+        rows.append([
+            name, f"{watts:.0f}", f"{PAPER_POWER_W[name]:.0f}",
+            *(f"{100 * brk[k] / total:.0f}%" for k in
+              ("Func Units", "Reg Files", "NoC", "HBM")),
+        ])
+    emit("fig10b_power", format_table(
+        ["benchmark", "avg W", "paper W", "FUs", "RF", "NoC", "HBM"],
+        rows, title="Fig. 10b reproduction: average power breakdown",
+    ))
+
+    for name, (brk, watts) in results.items():
+        # Power stays within the 320 W envelope.
+        assert watts < 330, (name, watts)
+        # FUs dominate (50-80% in the paper).
+        total = sum(brk.values())
+        assert brk["Func Units"] / total > 0.35, name
+    # Deep benchmarks draw more power than the light shallow ones.
+    deep_avg = sum(results[n][1] for n in DEEP_BENCHMARKS) / 4
+    mnist_avg = (results["lola_mnist_uw"][1] + results["lola_mnist_ew"][1]) / 2
+    assert deep_avg > 1.5 * mnist_avg

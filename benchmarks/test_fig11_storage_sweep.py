@@ -1,0 +1,51 @@
+"""Fig. 11: performance vs on-chip register-file capacity (100-350 MB)."""
+
+from conftest import emit
+
+from repro.analysis import format_table, gmean
+from repro.workloads import DEEP_BENCHMARKS, SHALLOW_BENCHMARKS
+
+SIZES_MB = (100, 150, 200, 256, 300, 350)
+
+
+def _sweep(runs):
+    table = {}
+    for name in DEEP_BENCHMARKS + ("lola_mnist_uw",):
+        base = runs.run(name).milliseconds
+        table[name] = {
+            mb: base / runs.run(
+                name, runs.craterlake.with_register_file(mb)
+            ).milliseconds
+            for mb in SIZES_MB
+        }
+    return table
+
+
+def test_fig11_storage_sweep(benchmark, runs):
+    speedups = benchmark.pedantic(_sweep, args=(runs,), rounds=1,
+                                  iterations=1)
+    rows = [
+        [name, *(f"{speedups[name][mb]:.2f}" for mb in SIZES_MB)]
+        for name in speedups
+    ]
+    emit("fig11_storage_sweep", format_table(
+        ["benchmark"] + [f"{mb} MB" for mb in SIZES_MB], rows,
+        title="Fig. 11 reproduction: speedup vs on-chip storage "
+              "(normalized to 256 MB)",
+    ))
+
+    # Deep benchmarks suffer badly below 256 MB (paper: up to 5.5x).
+    deep_at_100 = [speedups[n][100] for n in DEEP_BENCHMARKS]
+    assert min(deep_at_100) < 0.75
+    assert any(s < 0.55 for s in deep_at_100)
+    # Monotone improvement with capacity for deep benchmarks.
+    for name in DEEP_BENCHMARKS:
+        seq = [speedups[name][mb] for mb in SIZES_MB]
+        assert all(b >= a - 1e-9 for a, b in zip(seq, seq[1:])), name
+    # Diminishing returns past 256 MB: no deep benchmark gains more than
+    # ~1.6x from 256 -> 350 MB (paper: only P-Bootstrap reaches ~1.5x).
+    for name in DEEP_BENCHMARKS:
+        assert speedups[name][350] < 1.6, name
+    # Shallow benchmarks are insensitive to storage size.
+    for mb in SIZES_MB:
+        assert abs(speedups["lola_mnist_uw"][mb] - 1.0) < 0.1

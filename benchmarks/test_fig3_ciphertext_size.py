@@ -1,0 +1,44 @@
+"""Fig. 3: cost per homomorphic multiply vs maximum ciphertext size."""
+
+from conftest import emit
+
+from repro.analysis import (
+    ciphertext_size_sweep,
+    format_table,
+    optimal_point,
+)
+
+
+def _sweep():
+    return ciphertext_size_sweep(levels=list(range(30, 63, 3)))
+
+
+def test_fig3_ciphertext_size(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [p.max_level, f"{p.ciphertext_mb:.1f}", p.usable_levels,
+         f"{p.mults_per_op_chain / 1e6:.0f}", f"{p.mults_per_op_wide / 1e6:.0f}"]
+        for p in points
+    ]
+    table = format_table(
+        ["L_max", "ct MB", "usable", "chain Mmults/op", "wide Mmults/op"],
+        rows,
+        title="Fig. 3 reproduction: cost per multiply vs max ciphertext size",
+    )
+    emit("fig3_ciphertext_size", table)
+
+    chain_opt = optimal_point(points, "mults_per_op_chain")
+    wide_opt = optimal_point(points, "mults_per_op_wide")
+    # Paper: both optima fall in a narrow 20-26 MB band (Sec. 2.3).
+    assert 18.0 <= chain_opt.ciphertext_mb <= 27.0, chain_opt
+    assert 17.0 <= wide_opt.ciphertext_mb <= 27.0, wide_opt
+    # Left cliff: small ciphertexts leave so little usable budget that the
+    # chain cost blows up (>1.5x the optimum already at ~13 MB).
+    smallest = points[0]
+    assert smallest.mults_per_op_chain > 1.5 * chain_opt.mults_per_op_chain
+    # The wide graph amortizes bootstrapping ~100x better than the chain.
+    mid = points[len(points) // 2]
+    assert mid.mults_per_op_chain > 20 * mid.mults_per_op_wide
+    # Prior accelerators topped out at ~2 MB ciphertexts - far left of the
+    # optimum (the motivating claim of Sec. 2.3).
+    assert chain_opt.ciphertext_mb > 10 * 2.0

@@ -1,0 +1,59 @@
+"""Fig. 4: footprint and compute of standard vs boosted keyswitching vs L."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.analysis.opcounts import (
+    boosted_keyswitch_ops,
+    crossover_level,
+    keyswitch_compute_curve,
+    keyswitch_footprint_curve,
+    standard_keyswitch_ops,
+)
+
+
+def _build_curves():
+    levels, std_gb, boost_gb = keyswitch_footprint_curve(60)
+    _, std_mul, boost_mul = keyswitch_compute_curve(60)
+    rows = [
+        [l, f"{s:.3f}", f"{b:.4f}", f"{sm:.2f}", f"{bm:.2f}"]
+        for l, s, b, sm, bm in zip(
+            levels[9::10], std_gb[9::10], boost_gb[9::10],
+            std_mul[9::10], boost_mul[9::10],
+        )
+    ]
+    table = format_table(
+        ["L", "std hint GB", "boosted hint GB",
+         "std mults 1e9", "boosted mults 1e9"],
+        rows, title="Fig. 4 reproduction: keyswitching scaling vs L (N=64K)",
+    )
+    return levels, std_gb, boost_gb, std_mul, boost_mul, table
+
+
+def test_fig4_keyswitch_scaling(benchmark):
+    levels, std_gb, boost_gb, std_mul, boost_mul, table = benchmark.pedantic(
+        _build_curves, rounds=1, iterations=1)
+    emit("fig4_keyswitch_scaling", table)
+
+    # Paper anchor: at N=64K, L=60 the standard hint is ~1.7 GB while the
+    # boosted hint is ~52.5 MB (Sec. 3).
+    assert 1.5 < std_gb[-1] < 1.9
+    assert 0.050 < boost_gb[-1] < 0.058
+    # Footprint grows quadratically for standard, linearly for boosted.
+    assert std_gb[-1] / std_gb[29] > 3.5   # ~(60/30)^2
+    assert 1.8 < boost_gb[-1] / boost_gb[29] < 2.2
+    # Compute: similar at small L, diverging at large L (Fig. 4 right).
+    assert std_mul[2] < boost_mul[2]       # standard wins when L is tiny
+    assert std_mul[-1] > 1.5 * boost_mul[-1]
+    # Crossover where boosted becomes cheaper in raw multiplies.
+    assert 5 <= crossover_level() <= 20
+
+
+def test_fig4_multi_digit_hint_growth(benchmark):
+    """Sec. 3.1: the t-digit hint takes t+1 ciphertexts' worth of space."""
+    def build():
+        return [boosted_keyswitch_ops(60, t).hint_residues for t in (1, 2, 3, 4)]
+    residues = benchmark.pedantic(build, rounds=1, iterations=1)
+    ct = 2 * 60  # residues per ciphertext at L=60
+    for t, r in zip((1, 2, 3, 4), residues):
+        assert abs(r / ct - (t + 1)) < 0.2, (t, r)

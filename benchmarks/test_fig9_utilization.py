@@ -1,0 +1,49 @@
+"""Fig. 9: functional-unit and off-chip-bandwidth utilization."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.workloads import ALL_BENCHMARKS, DEEP_BENCHMARKS
+
+
+def _collect(runs):
+    return {
+        name: (runs.run(name).fu_utilization(),
+               runs.run(name).bandwidth_utilization)
+        for name in ALL_BENCHMARKS
+    }
+
+
+def test_fig9_utilization(benchmark, runs):
+    util = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+    rows = [[n, f"{fu * 100:.0f}%", f"{bw * 100:.0f}%"]
+            for n, (fu, bw) in util.items()]
+    emit("fig9_utilization", format_table(
+        ["benchmark", "FU util", "BW util"], rows,
+        title="Fig. 9 reproduction: FU and memory-bandwidth utilization",
+    ))
+
+    # Balanced system: deep benchmarks keep both resources busy.
+    for name in DEEP_BENCHMARKS:
+        fu, bw = util[name]
+        assert fu > 0.25, name          # paper: ~35-55% on deep
+        assert bw > 0.30, name          # paper: ~30-70%
+        assert max(fu, bw) > 0.4, name  # something is being used hard
+    # No benchmark exceeds the physical bounds.
+    for name, (fu, bw) in util.items():
+        assert 0 <= fu <= 1 and 0 <= bw <= 1
+
+
+def test_fig9_f1plus_utilization_collapses(benchmark, runs):
+    """Sec. 9.2: F1+'s average FU utilization on deep benchmarks is ~10%
+    (inadequate FU mix, no CRB)."""
+    def collect():
+        return {
+            n: runs.run(n, runs.f1plus).fu_utilization()
+            for n in DEEP_BENCHMARKS
+        }
+    f1_util = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for name in DEEP_BENCHMARKS:
+        cl_util = runs.run(name).fu_utilization()
+        assert f1_util[name] < 0.2, name
+        assert f1_util[name] < cl_util, name

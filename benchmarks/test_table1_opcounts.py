@@ -1,0 +1,45 @@
+"""Table 1: operation counts, boosted vs standard keyswitching."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.analysis.opcounts import (
+    boosted_keyswitch_ops,
+    standard_keyswitch_ops,
+)
+
+
+def _build_table():
+    level = 60
+    b = boosted_keyswitch_ops(level)
+    s = standard_keyswitch_ops(level)
+    rows = [
+        ["Mult", f"3L^2 + 4L = {b.crb_mult} + {b.mult - b.crb_mult}",
+         f"2L^2 = {s.mult}"],
+        ["Add", f"3L^2 + 2L = {b.crb_mult} + {b.add - b.crb_mult}",
+         f"2L^2 = {s.add}"],
+        ["NTT", f"6L = {b.ntt}", f"L^2 = {s.ntt}"],
+        ["Hint residues", f"{b.hint_residues} (2 ciphertexts)",
+         f"{s.hint_residues}"],
+    ]
+    return b, s, format_table(
+        ["Op", "Boosted keyswitching", "Standard"], rows,
+        title="Table 1 reproduction: op counts per keyswitch at L=60",
+    )
+
+
+def test_table1_opcounts(benchmark):
+    (b, s, table) = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    emit("table1_opcounts", table)
+    # Paper's exact L=60 numbers.
+    assert b.mult == 10800 + 240
+    assert b.add == 10800 + 120
+    assert b.ntt == 360
+    assert s.mult == s.add == 7200
+    assert s.ntt == 3600
+    # The headline: boosted trades ~50% more mult/add for 10x fewer NTTs.
+    assert s.ntt / b.ntt == 10.0
+    assert 1.3 < b.mult / s.mult < 1.7
+    # Hints: 2 ciphertexts (4L residues) vs 2L^2 residues.
+    assert b.hint_residues == 4 * 60
+    assert s.hint_residues == 2 * 60 * 60

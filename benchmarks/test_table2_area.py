@@ -1,0 +1,69 @@
+"""Table 2: area breakdown of CraterLake by component."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core import ChipConfig, area_breakdown, scaled_5nm, total_area
+from repro.core.area import total_fu_area
+
+# Paper per-unit figures expanded to the full FU complement (2x NTT,
+# 5x Mul, 5x Add), which is what makes the paper's 'Total FUs' row 240.5
+# and the chip total 472.3.
+PAPER_AREAS = {
+    "CRB FU": 158.8,
+    "NTT FU": 2 * 28.1,
+    "Automorphism FU": 9.0,
+    "KSHGen FU": 3.3,
+    "Multiply FU": 5 * 2.2,
+    "Add FU": 5 * 0.8,
+    "Register file": 192.0,
+    "On-chip interconnect": 10.0,
+    "Mem PHYs": 29.8,
+}
+PAPER_TOTAL = 472.3
+
+
+def test_table2_area(benchmark):
+    breakdown = benchmark.pedantic(area_breakdown, rounds=1, iterations=1)
+    rows = [[k, f"{v:.1f}", f"{PAPER_AREAS[k]:.1f}"] for k, v in breakdown.items()]
+    rows.append(["Total", f"{sum(breakdown.values()):.1f}", f"{PAPER_TOTAL:.1f}"])
+    emit("table2_area", format_table(
+        ["Component", "model mm^2", "paper mm^2"], rows,
+        title="Table 2 reproduction: area breakdown (14/12nm)",
+    ))
+    for component, paper in PAPER_AREAS.items():
+        assert abs(breakdown[component] - paper) < 0.2, component
+    assert abs(total_area() - PAPER_TOTAL) < 3.0
+    # Structural claims: FUs ~51% of area, RF ~41%, CRB the largest FU.
+    assert 0.48 < total_fu_area() / total_area() < 0.54
+    assert 0.38 < breakdown["Register file"] / total_area() < 0.44
+    assert breakdown["CRB FU"] == max(
+        breakdown[k] for k in PAPER_AREAS if k.endswith("FU")
+    )
+
+
+def test_table2_crossbar_network_area(benchmark):
+    """Sec. 8: the crossbar network is 16x the fixed permutation network."""
+    cfg = ChipConfig().with_crossbar_network()
+    breakdown = benchmark.pedantic(area_breakdown, args=(cfg,),
+                                   rounds=1, iterations=1)
+    assert breakdown["On-chip interconnect"] == 16 * 10.0
+    # F1+'s total lands near the paper's 636 mm^2 once its network is paid.
+    assert total_area(cfg) > total_area() + 140
+
+
+def test_table2_5nm_projection(benchmark):
+    proj = benchmark.pedantic(scaled_5nm, rounds=1, iterations=1)
+    # Sec. 7: ~157 mm^2 and ~146 W on TSMC 5nm.
+    assert abs(proj["area_mm2"] - 157.0) < 3.0
+    assert abs(proj["peak_power_w"] - 146.0) < 2.0
+
+
+def test_table2_128k_variant_cost(benchmark):
+    """Sec. 9.4: native N=128K support adds <6% of chip area."""
+    base = total_area()
+    big = benchmark.pedantic(
+        total_area, args=(ChipConfig.craterlake_128k(),), rounds=1,
+        iterations=1)
+    extra = big - base
+    assert 0 < extra < 0.08 * base

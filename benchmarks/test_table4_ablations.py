@@ -1,0 +1,73 @@
+"""Table 4: slowdowns without KSHGen, CRB/chaining, or the fixed network."""
+
+from conftest import emit
+
+from repro.analysis import format_table, gmean
+from repro.workloads import DEEP_BENCHMARKS, SHALLOW_BENCHMARKS
+
+PAPER = {  # (KSHGen, CRB/chain, Network) slowdowns
+    "resnet20": (2.0, 20.0, 1.7),
+    "logreg": (1.3, 8.8, 1.2),
+    "lstm": (2.5, 34.5, 1.3),
+    "packed_bootstrap": (2.0, 27.4, 1.3),
+    "lola_mnist_uw": (1.1, 1.3, 1.5),
+}
+
+
+def _ablate(runs):
+    cfg = runs.craterlake
+    configs = {
+        "KSHGen": cfg.without_kshgen(),
+        "CRB/chain": cfg.without_crb_chaining(),
+        "Network": cfg.with_crossbar_network(),
+    }
+    out = {}
+    for name in DEEP_BENCHMARKS + ("lola_mnist_uw",):
+        base = runs.run(name).milliseconds
+        out[name] = {
+            label: runs.run(name, c).milliseconds / base
+            for label, c in configs.items()
+        }
+    return out
+
+
+def test_table4_ablations(benchmark, runs):
+    slowdowns = benchmark.pedantic(_ablate, args=(runs,), rounds=1,
+                                   iterations=1)
+    rows = []
+    for name, s in slowdowns.items():
+        p = PAPER[name]
+        rows.append([name, f"{s['KSHGen']:.1f}", f"{p[0]:.1f}",
+                     f"{s['CRB/chain']:.1f}", f"{p[1]:.1f}",
+                     f"{s['Network']:.1f}", f"{p[2]:.1f}"])
+    emit("table4_ablations", format_table(
+        ["benchmark", "no KSHGen", "paper", "no CRB/chain", "paper",
+         "crossbar net", "paper"], rows,
+        title="Table 4 reproduction: slowdown without each feature",
+    ))
+
+    deep = {k: v for k, v in slowdowns.items() if k in DEEP_BENCHMARKS}
+    ksh = gmean(v["KSHGen"] for v in deep.values())
+    crb = gmean(v["CRB/chain"] for v in deep.values())
+    net = gmean(v["Network"] for v in deep.values())
+    # Paper deep gmeans: 1.9x / 20.2x / 1.3x.  Shape bands:
+    assert 1.2 < ksh < 3.0, ksh
+    assert crb > 8.0, crb            # CRB+chaining is the dominant feature
+    assert 1.1 < net < 2.0, net
+    # Ordering: CRB >> KSHGen ~ Network.
+    assert crb > 3 * ksh and crb > 3 * net
+    # Shallow benchmarks barely care about KSHGen/CRB (low L).
+    assert slowdowns["lola_mnist_uw"]["KSHGen"] < 1.5
+    assert slowdowns["lola_mnist_uw"]["CRB/chain"] < 3.0
+
+
+def test_table4_no_crb_worse_than_f1plus(benchmark, runs):
+    """Sec. 9.3: without CRB/chaining, CraterLake falls behind even F1+,
+    because F1+ at least has more raw NTT/multiply throughput."""
+    def run():
+        name = "packed_bootstrap"
+        no_crb = runs.run(name, runs.craterlake.without_crb_chaining())
+        f1 = runs.run(name, runs.f1plus)
+        return no_crb.milliseconds, f1.milliseconds
+    no_crb_ms, f1_ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert no_crb_ms > f1_ms

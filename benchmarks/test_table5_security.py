@@ -1,0 +1,67 @@
+"""Table 5: performance at 128-bit and 200-bit security targets."""
+
+from conftest import emit
+
+from repro.analysis import format_table, gmean
+from repro.core import ChipConfig
+from repro.workloads import DEEP_BENCHMARKS
+
+PAPER = {  # slowdown vs 80-bit: (128-bit, 200-bit @ N=128K)
+    "resnet20": (1.29, 2.36),
+    "logreg": (1.02, 1.03),
+    "lstm": (1.62, 4.32),
+    "packed_bootstrap": (1.62, 4.35),
+}
+
+
+def _run_security(runs):
+    big_chip = ChipConfig.craterlake_128k()
+    out = {}
+    for name in DEEP_BENCHMARKS:
+        base = runs.run(name).milliseconds
+        s128 = runs.run(name, security=128).milliseconds
+        s200 = runs.run(name, big_chip, security=200,
+                        degree=131072).milliseconds
+        out[name] = {"base": base, "128": s128 / base, "200": s200 / base}
+    return out
+
+
+def test_table5_security(benchmark, runs):
+    results = benchmark.pedantic(_run_security, args=(runs,), rounds=1,
+                                 iterations=1)
+    rows = []
+    for name, r in results.items():
+        p = PAPER[name]
+        rows.append([name, f"{r['base']:.2f}", f"{r['128']:.2f}",
+                     f"{p[0]:.2f}", f"{r['200']:.2f}", f"{p[1]:.2f}"])
+    g128 = gmean(r["128"] for r in results.values())
+    g200 = gmean(r["200"] for r in results.values())
+    rows.append(["gmean", "", f"{g128:.2f}", "1.36", f"{g200:.2f}", "2.60"])
+    emit("table5_security", format_table(
+        ["benchmark", "80-bit ms", "128-bit x", "paper", "200-bit x",
+         "paper"], rows,
+        title="Table 5 reproduction: slowdown at higher security levels",
+    ))
+
+    # Shape criteria: 128-bit costs a modest gmean slowdown (paper 1.36x,
+    # worst case 1.62x); 200-bit costs clearly more (paper gmean 2.60x).
+    assert 1.0 <= g128 < 2.6, g128
+    assert g200 > g128
+    assert 1.6 < g200 < 5.2, g200
+    # Benchmarks slow with the security target (a small speedup is
+    # tolerated where the workload adapts its activation depth to the
+    # shorter 128-bit chain, trading work for precision as [48] does).
+    for name, r in results.items():
+        assert r["128"] >= 0.85, name
+        assert r["200"] >= r["128"] * 0.9, name
+
+
+def test_table5_200bit_needs_larger_ring(benchmark, runs):
+    """Sec. 9.4: deep chains at 200-bit do not fit N=64K."""
+    import pytest
+
+    def attempt():
+        with pytest.raises(ValueError, match="128K"):
+            runs.program("packed_bootstrap", security=200, degree=None)
+        return True
+    assert benchmark.pedantic(attempt, rounds=1, iterations=1)

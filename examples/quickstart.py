@@ -1,0 +1,76 @@
+"""Quickstart: encrypted computation plus the accelerator model.
+
+Runs in a few seconds:
+
+1. build a small CKKS context, encrypt a vector, compute on it
+   homomorphically (add, multiply, rotate), and decrypt;
+2. simulate the paper's fully packed bootstrapping benchmark on
+   CraterLake, F1+ and the CPU model, reproducing the Table 3 row.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChipConfig,
+    CkksContext,
+    CkksParams,
+    benchmark,
+    cpu_seconds,
+    f1plus_config,
+    simulate,
+)
+
+
+def functional_demo():
+    print("=== Functional CKKS ===")
+    params = CkksParams(degree=512, max_level=6, seed=1)
+    ctx = CkksContext(params)
+    sk = ctx.keygen()
+    relin = ctx.relin_hint(sk)
+    rot1 = ctx.rotation_hint(sk, 1)
+
+    values = np.array([0.5, -0.25, 0.125, 1.0])
+    ct = ctx.encrypt_values(sk, values)
+    print(f"encrypted {len(values)} values into N={params.degree} "
+          f"ciphertext at level {ct.level}")
+
+    doubled = ctx.add(ct, ct)
+    squared = ctx.rescale(ctx.square(ct, relin))
+    rotated = ctx.rotate(ct, 1, rot1)
+
+    for label, result, want in (
+        ("x + x", doubled, 2 * values),
+        ("x * x", squared, values**2),
+        ("rot(x, 1)", rotated, np.roll(np.tile(values, 64), -1)[:4]),
+    ):
+        got = ctx.decrypt(sk, result)[:4].real
+        err = np.max(np.abs(got - np.asarray(want)[:4]))
+        print(f"  {label:10s} -> {np.round(got, 4)}  (max err {err:.2e})")
+
+
+def accelerator_demo():
+    print("\n=== CraterLake performance model ===")
+    program = benchmark("packed_bootstrap")
+    print(f"program: {program.name}, {len(program)} homomorphic ops, "
+          f"{program.keyswitch_count()} keyswitches")
+
+    craterlake = simulate(program, ChipConfig())
+    f1plus = simulate(program, f1plus_config())
+    cpu_s = cpu_seconds(program)
+
+    print(f"  CraterLake : {craterlake.milliseconds:8.2f} ms  "
+          f"(FU util {craterlake.fu_utilization():.0%}, "
+          f"BW util {craterlake.bandwidth_utilization:.0%}, "
+          f"{craterlake.total_traffic_bytes / 1e9:.1f} GB moved)")
+    print(f"  F1+        : {f1plus.milliseconds:8.2f} ms  "
+          f"({f1plus.milliseconds / craterlake.milliseconds:.1f}x slower)")
+    print(f"  CPU        : {cpu_s * 1e3:8.0f} ms  "
+          f"({cpu_s / craterlake.seconds:,.0f}x slower)")
+    print("paper (Table 3): 3.91 ms, 14.9x, 4,398x")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    accelerator_demo()

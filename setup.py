@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without network access.
+
+The environment this repo targets has no `wheel` package installed, so the
+PEP 517 editable path is unavailable; setuptools' classic develop install
+needs this file.
+"""
+
+from setuptools import setup
+
+setup()

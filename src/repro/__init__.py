@@ -1,0 +1,75 @@
+"""CraterLake (ISCA 2022) reproduction.
+
+Three layers, mirroring how the paper was evaluated:
+
+* ``repro.fhe`` - a working CKKS FHE library (encrypt, compute, rotate,
+  bootstrap) implementing every algorithm the accelerator speeds up,
+  including boosted t-digit keyswitching and fully packed bootstrapping.
+* ``repro.core`` - the CraterLake machine model: chip configurations,
+  per-op costs, a cycle-level simulator with Belady-managed on-chip
+  storage, area/power models, and functional models of the novel units
+  (CRB, KSHGen, transpose network, vector chaining).
+* ``repro.compiler`` / ``repro.workloads`` / ``repro.baselines`` /
+  ``repro.analysis`` - the DSL and kernels that build the paper's
+  benchmark programs, the F1+ and CPU comparison systems, and the
+  analytic models behind the figures.
+
+Quick start::
+
+    from repro import CkksContext, CkksParams, ChipConfig, simulate, benchmark
+
+    # Functional FHE
+    ctx = CkksContext(CkksParams(degree=512, max_level=6))
+    sk = ctx.keygen()
+    ct = ctx.encrypt_values(sk, [0.5, -0.25])
+    print(ctx.decrypt(sk, ctx.add(ct, ct))[:2])
+
+    # Performance model
+    result = simulate(benchmark("packed_bootstrap"), ChipConfig())
+    print(f"{result.milliseconds:.2f} ms")
+"""
+
+from repro.baselines import CpuModel, cpu_seconds, f1plus_config
+from repro.core import (
+    ChipConfig,
+    SimResult,
+    area_breakdown,
+    average_power,
+    energy_breakdown,
+    simulate,
+    total_area,
+)
+from repro.fhe import (
+    Bootstrapper,
+    Ciphertext,
+    CkksContext,
+    CkksParams,
+    SecretKey,
+)
+from repro.ir import HomOp, Program
+from repro.workloads import ALL_BENCHMARKS, DEEP_BENCHMARKS, benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "DEEP_BENCHMARKS",
+    "Bootstrapper",
+    "ChipConfig",
+    "Ciphertext",
+    "CkksContext",
+    "CkksParams",
+    "CpuModel",
+    "HomOp",
+    "Program",
+    "SecretKey",
+    "SimResult",
+    "area_breakdown",
+    "average_power",
+    "benchmark",
+    "cpu_seconds",
+    "energy_breakdown",
+    "f1plus_config",
+    "simulate",
+    "total_area",
+]

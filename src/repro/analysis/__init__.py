@@ -1,0 +1,36 @@
+"""Analytic models and figure/table data generators for the evaluation."""
+
+from repro.analysis.opcounts import (
+    KeyswitchOps,
+    boosted_keyswitch_ops,
+    keyswitch_compute_curve,
+    keyswitch_footprint_curve,
+    standard_keyswitch_ops,
+)
+from repro.analysis.tradeoff import (
+    CiphertextSizePoint,
+    ciphertext_size_sweep,
+    optimal_point,
+)
+from repro.analysis.hemmpc import (
+    compare_refresh,
+    client_refresh_seconds,
+    narrow_input_savings,
+)
+from repro.analysis.report import format_table, gmean
+
+__all__ = [
+    "KeyswitchOps",
+    "boosted_keyswitch_ops",
+    "standard_keyswitch_ops",
+    "keyswitch_compute_curve",
+    "keyswitch_footprint_curve",
+    "CiphertextSizePoint",
+    "ciphertext_size_sweep",
+    "optimal_point",
+    "compare_refresh",
+    "client_refresh_seconds",
+    "narrow_input_savings",
+    "format_table",
+    "gmean",
+]

@@ -1,0 +1,57 @@
+"""HE-MPC vs accelerated bootstrapping (Sec. 10's quantitative claim).
+
+Hybrid HE-MPC systems (Gazelle, Cheetah, Delphi) avoid bootstrapping by
+shipping exhausted ciphertexts back to the client for re-encryption.  The
+paper's counterpoint: with bootstrapping at 3.9 ms, the round trip is the
+bottleneck - over 13 MB per refresh means >1 s on a 100 Mbps link, ~256x
+slower than bootstrapping on CraterLake, before even counting client
+compute.  This module reproduces that arithmetic as a small model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RefreshComparison:
+    ciphertext_mb: float
+    network_seconds: float
+    bootstrap_seconds: float
+
+    @property
+    def advantage(self) -> float:
+        """How much faster on-accelerator bootstrapping is per refresh."""
+        return self.network_seconds / self.bootstrap_seconds
+
+
+def client_refresh_seconds(ciphertext_megabytes: float,
+                           link_mbps: float = 100.0) -> float:
+    """Round-trip transfer time for one ciphertext refresh (both ways the
+    ciphertext must cross the link once; the paper charges one transfer of
+    the noise-budgeted ciphertext, >13 MB)."""
+    return ciphertext_megabytes * 8.0 / link_mbps
+
+
+def compare_refresh(
+    bootstrap_ms: float = 3.91,
+    ciphertext_megabytes: float = 13.0,
+    link_mbps: float = 100.0,
+) -> RefreshComparison:
+    """Sec. 10's numbers: >13 MB per refresh, 100 Mbps link, 3.9 ms
+    bootstrap => the accelerator refreshes ~256x faster than the network
+    can even move the data."""
+    return RefreshComparison(
+        ciphertext_mb=ciphertext_megabytes,
+        network_seconds=client_refresh_seconds(ciphertext_megabytes,
+                                               link_mbps),
+        bootstrap_seconds=bootstrap_ms / 1e3,
+    )
+
+
+def narrow_input_savings(coefficient_bits_full: int = 1500,
+                         coefficient_bits_narrow: int = 32) -> float:
+    """Bootstrapping also lets clients send narrow (e.g. 32-bit) inputs
+    the server bootstraps up, instead of full 1,500-bit coefficients -
+    a ~47x cut in client encryption and network cost (Sec. 10)."""
+    return coefficient_bits_full / coefficient_bits_narrow

@@ -1,0 +1,112 @@
+"""Operation counts for keyswitching: Table 1 and Fig. 4.
+
+Table 1's closed forms (per keyswitch of an L-residue polynomial, 1-digit
+boosted vs standard):
+
+                boosted (changeRNSBase + other)     standard
+    Mult        3L^2 + 4L                           2L^2
+    Add         3L^2 + 2L                           2L^2
+    NTT         6L                                  L^2
+
+Fig. 4 plots, as a function of the multiplicative budget L at N=64K, the
+keyswitch-hint footprint (GB) and the number of 28-bit scalar multiplies
+(billions) of both algorithms: standard keyswitching's quadratic hint is
+what rules it out for deep FHE (1.7 GB vs 52.5 MB at L=60).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeyswitchOps:
+    """Residue-polynomial operation counts for one keyswitch."""
+
+    mult: int
+    add: int
+    ntt: int
+    crb_mult: int  # the subset of mult that happens inside changeRNSBase
+    hint_residues: int  # residue polynomials in the keyswitch hint
+
+    def scalar_mults(self, degree: int) -> float:
+        """Total 28-bit multiplies including the NTTs' butterflies."""
+        return (self.mult * degree
+                + self.ntt * degree / 2 * math.log2(degree))
+
+    def hint_bytes(self, degree: int, bytes_per_word: float = 3.5,
+                   seeded: bool = False) -> float:
+        residues = self.hint_residues / (2 if seeded else 1)
+        return residues * degree * bytes_per_word
+
+
+def boosted_keyswitch_ops(level: int, digits: int = 1) -> KeyswitchOps:
+    """Table 1, generalized to t digits (Sec. 3.1).
+
+    For t=1 this reproduces the paper's column exactly: 3L^2 + 4L mults,
+    3L^2 + 2L adds, 6L NTTs, and a hint of 2 ciphertexts (4L residues).
+    """
+    ell = level
+    alpha = -(-ell // digits)
+    raised = ell + alpha
+    crb_mult = ell * ell + 2 * alpha * ell          # modup + 2x moddown
+    # Hint application only; the P^-1 scaling rides in the CRB pass, which
+    # is how Table 1 arrives at exactly 3L^2 + 4L multiplies for t=1.
+    other_mult = 2 * digits * raised
+    add = crb_mult + 2 * (digits - 1) * raised + 2 * ell
+    ntt = ell + digits * ell + 2 * alpha + 2 * ell
+    hint_residues = 2 * digits * raised              # (t+1) ciphertexts
+    return KeyswitchOps(
+        mult=crb_mult + other_mult, add=add, ntt=ntt,
+        crb_mult=crb_mult, hint_residues=hint_residues,
+    )
+
+
+def standard_keyswitch_ops(level: int) -> KeyswitchOps:
+    """Table 1's standard (per-prime BV) column."""
+    ell = level
+    return KeyswitchOps(
+        mult=2 * ell * ell, add=2 * ell * ell, ntt=ell * ell,
+        crb_mult=0, hint_residues=2 * ell * ell,
+    )
+
+
+def keyswitch_footprint_curve(max_level: int = 60, degree: int = 65536,
+                              bytes_per_word: float = 3.5):
+    """Fig. 4 (left): hint footprint in GB vs L, both algorithms."""
+    levels = list(range(1, max_level + 1))
+    standard = [
+        standard_keyswitch_ops(l).hint_bytes(degree, bytes_per_word) / 1e9
+        for l in levels
+    ]
+    boosted = [
+        boosted_keyswitch_ops(l).hint_bytes(degree, bytes_per_word) / 1e9
+        for l in levels
+    ]
+    return levels, standard, boosted
+
+
+def keyswitch_compute_curve(max_level: int = 60, degree: int = 65536):
+    """Fig. 4 (right): 28-bit multiplies (billions) vs L, both algorithms."""
+    levels = list(range(1, max_level + 1))
+    standard = [
+        standard_keyswitch_ops(l).scalar_mults(degree) / 1e9 for l in levels
+    ]
+    boosted = [
+        boosted_keyswitch_ops(l).scalar_mults(degree) / 1e9 for l in levels
+    ]
+    return levels, standard, boosted
+
+
+def crossover_level(degree: int = 65536) -> int:
+    """First L where boosted needs fewer scalar multiplies than standard.
+
+    Sec. 8: 'boosted keyswitching becomes more efficient for L > 14'.
+    """
+    for level in range(1, 200):
+        b = boosted_keyswitch_ops(level).scalar_mults(degree)
+        s = standard_keyswitch_ops(level).scalar_mults(degree)
+        if b < s:
+            return level
+    raise RuntimeError("no crossover found")

@@ -1,0 +1,44 @@
+"""Small reporting helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregate for speedups."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("gmean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table, printed by every benchmark harness."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)

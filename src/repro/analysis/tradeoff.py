@@ -1,0 +1,86 @@
+"""The ciphertext-size tradeoff of Fig. 3 (Sec. 2.3).
+
+For a deep program, the maximum ciphertext size (equivalently L_max) sets
+how often bootstrapping runs: bigger ciphertexts buy more usable levels per
+refresh, but every operation - bootstrapping included - gets more expensive
+with size.  Fig. 3 plots total cost per homomorphic multiply against max
+ciphertext size for the two synthetic extremes (a serial multiplication
+chain and a 100-wide multiply graph) and finds the optimum in a narrow
+20-26 MB band; the paper sizes CraterLake for exactly that band.
+
+Cost here is the paper's y-axis metric: scalar multiplies per homomorphic
+multiply, computed from the same op-count formulas as Table 1/Fig. 4 plus
+the bootstrap plan's structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.opcounts import boosted_keyswitch_ops
+from repro.fhe.security import ciphertext_megabytes
+from repro.workloads.bootstrap import BootstrapPlan
+from repro.workloads.synthetic import _plan_for_max_level
+
+
+@dataclass(frozen=True)
+class CiphertextSizePoint:
+    max_level: int
+    ciphertext_mb: float
+    usable_levels: int
+    bootstrap_mults: float       # scalar mults per bootstrap
+    app_mults_per_op: float      # scalar mults per application multiply
+    mults_per_op_chain: float    # total, serial-chain amortization
+    mults_per_op_wide: float     # total, 100-wide amortization
+
+
+def _bootstrap_scalar_mults(plan: BootstrapPlan, degree: int) -> float:
+    """Scalar multiplies of one bootstrap under the plan's op structure."""
+    total = 0.0
+    level = plan.top_level
+    rotations = plan.rotations_per_stage * plan.tile_partitions
+    for _ in range(plan.cts_stages + plan.stc_stages):
+        ks = boosted_keyswitch_ops(level, 2 if level > 52 else 1)
+        total += rotations * ks.scalar_mults(degree)
+        level -= 1
+    evalmod_ks = 2 * (plan.evalmod_mults + plan.evalmod_squarings)
+    mid = max(1, level - plan.evalmod_depth // 2)
+    total += evalmod_ks * boosted_keyswitch_ops(mid, 1).scalar_mults(degree)
+    return total
+
+
+def ciphertext_size_sweep(levels=None, degree: int = 65536,
+                          security: int = 80, wide_width: int = 100):
+    """Fig. 3's x-sweep: cost per multiply vs maximum ciphertext size."""
+    if levels is None:
+        levels = [28, 34, 40, 46, 52, 57, 60]
+    points = []
+    for max_level in levels:
+        try:
+            plan = _plan_for_max_level(security, degree, max_level)
+        except ValueError:
+            continue  # too small to host packed bootstrapping
+        usable = plan.usable_levels
+        boot = _bootstrap_scalar_mults(plan, degree)
+        # An application multiply at the midpoint of the usable band.
+        app_level = max(1, usable // 2)
+        app = boosted_keyswitch_ops(app_level, 1).scalar_mults(degree)
+        # Chain: one multiply per level between refreshes.
+        chain = app + boot / usable
+        # Wide graph: `wide_width` multiplies per level between refreshes.
+        wide = app + boot / (usable * wide_width)
+        points.append(CiphertextSizePoint(
+            max_level=max_level,
+            ciphertext_mb=ciphertext_megabytes(degree, max_level),
+            usable_levels=usable,
+            bootstrap_mults=boot,
+            app_mults_per_op=app,
+            mults_per_op_chain=chain,
+            mults_per_op_wide=wide,
+        ))
+    return points
+
+
+def optimal_point(points, metric: str) -> "CiphertextSizePoint":
+    """The sweep point minimizing ``metric`` (Fig. 3's black dots)."""
+    return min(points, key=lambda p: getattr(p, metric))

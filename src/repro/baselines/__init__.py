@@ -1,0 +1,12 @@
+"""Comparison systems: the F1+ accelerator and the 32-core CPU (Sec. 8)."""
+
+from repro.baselines.cpu import CpuModel, cpu_seconds
+from repro.baselines.f1plus import F1PLUS, f1plus_config, simulate_f1plus
+
+__all__ = [
+    "CpuModel",
+    "cpu_seconds",
+    "F1PLUS",
+    "f1plus_config",
+    "simulate_f1plus",
+]

@@ -1,0 +1,71 @@
+"""Analytic CPU baseline: the paper's 32-core Threadripper PRO 3975WX.
+
+The CPU runs the same op streams through an operation-count model: modular
+multiplies and adds at a sustained multicore rate, plus main-memory traffic
+for operands that fall out of the last-level cache.  The single throughput
+constant is calibrated so that fully packed bootstrapping lands at the
+paper's measured 17.2 s (Sec. 8, Table 3); every other benchmark's CPU time
+then *emerges* from its op counts, which is the honest way to reproduce
+Table 3's CPU column without the authors' machine.
+
+Calibration sanity: 32 cores x 3.5 GHz at ~6.5 cycles per modular
+multiply (Lattigo's vectorized Barrett arithmetic, loads included) gives
+~17e9 modmuls/s - the fitted value is in exactly that range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ChipConfig
+from repro.core.cost import op_cost
+from repro.ir import INPUT, OUTPUT, Program
+
+# Fitted against the paper's packed-bootstrapping CPU time (17.2 s);
+# consistent with Lattigo's vectorized Barrett arithmetic sustaining ~5-6
+# cycles per 64-bit modular multiply-accumulate across 32 cores.
+MODMULS_PER_SECOND = 17.0e9
+# Adds ride mostly in the multipliers' shadow on superscalar cores.
+ADD_WEIGHT = 0.15
+# Effective DRAM bandwidth for streaming operands (8-channel DDR4).
+DRAM_BYTES_PER_SECOND = 120e9
+
+# Software has no KSHGen unit but does implement seeded hints (HElib [32]);
+# still, all hint *applications* read expanded hints from DRAM.
+_CPU_COST_CONFIG = ChipConfig(
+    name="cpu-cost", kshgen=False, crb=True, chaining=True,
+    max_degree=1 << 20,
+)
+
+
+@dataclass
+class CpuModel:
+    """Op-count execution model; see module docstring for calibration."""
+
+    modmuls_per_second: float = MODMULS_PER_SECOND
+    add_weight: float = ADD_WEIGHT
+    dram_bytes_per_second: float = DRAM_BYTES_PER_SECOND
+    bytes_per_word: float = 8.0  # software keeps residues in uint64
+
+    def seconds(self, program: Program) -> float:
+        mults = 0.0
+        adds = 0.0
+        stream_words = 0.0
+        for op in program.ops:
+            if op.kind in (INPUT, OUTPUT):
+                stream_words += 2 * program.degree * op.level
+                continue
+            cost = op_cost(_CPU_COST_CONFIG, op, program.degree)
+            mults += cost.scalar_mults
+            adds += cost.scalar_adds
+            # Hints and plaintexts blow out the LLC; charge their streaming.
+            stream_words += cost.hint_words
+        compute = (mults + self.add_weight * adds) / self.modmuls_per_second
+        memory = stream_words * self.bytes_per_word / self.dram_bytes_per_second
+        # Multicore FHE kernels overlap streaming poorly; take the sum of
+        # the bandwidth-bound and compute-bound parts, weighted.
+        return compute + 0.5 * memory
+
+
+def cpu_seconds(program: Program) -> float:
+    return CpuModel().seconds(program)

@@ -1,0 +1,60 @@
+"""F1+: the scaled-up F1 baseline the paper compares against (Sec. 8).
+
+F1+ is F1 [25] grown to CraterLake's budget: 32 compute clusters of 256
+lanes (8,192 lanes total - 2x CraterLake's NTT throughput and ~2.4x its
+multiply/add throughput), a 256 MB scratchpad, and a crossbar network with
+2x CraterLake's peak bandwidth (57 TB/s) that its residue-polynomial tiling
+needs.  It lacks CraterLake's CRB, vector chaining and KSHGen, and (being a
+vector multicore) pays per-cluster register-file port limits on the simple
+operations that dominate boosted keyswitching.
+
+Per the paper, F1+ gets the best keyswitching algorithm at every level:
+standard below L ~ 14, boosted above - `repro.core.cost.keyswitch_cost`
+implements exactly that policy for CRB-less machines.
+
+Expressed as a :class:`ChipConfig`, F1+ runs through the same simulator and
+the same op streams as CraterLake, so every difference in results traces to
+the architectural parameters above.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ChipConfig
+from repro.core.simulator import SimResult, simulate
+from repro.ir import Program
+
+CLUSTERS = 32
+CLUSTER_LANES = 256
+# Per-cluster banked register file: one full vector op (2 reads + 1
+# write) sustained per cycle - enough for F1's NTT-heavy standard
+# keyswitching, far too little for boosted keyswitching's 6L^2 simple ops
+# ("over 100 register file ports" would be needed, Sec. 2.5).
+PORTS_PER_CLUSTER = 3
+
+
+def f1plus_config() -> ChipConfig:
+    return ChipConfig(
+        name="F1+",
+        lanes=CLUSTERS * CLUSTER_LANES,
+        lane_groups=CLUSTERS,
+        register_file_mb=256.0,          # 32-bank scratchpad + cluster RFs
+        rf_ports=CLUSTERS * PORTS_PER_CLUSTER,
+        rf_port_width=CLUSTER_LANES,
+        ntt_units=1,                     # 1 per cluster x 8,192 lanes:
+        mul_units=3,                     #   2x CraterLake NTT throughput
+        add_units=3,                     #   ~2.4x CraterLake mul/add
+        aut_units=1,
+        crb=False,                       # no CRB...
+        chaining=False,                  # ...no chaining...
+        kshgen=False,                    # ...full hints from memory...
+        fixed_network=False,             # ...crossbar + residue tiling,
+        network_words_per_cycle_factor=2,  # 57 TB/s peak (2x CraterLake)
+        network_efficiency=0.55,         # switched fabric, all-to-all
+    )
+
+
+F1PLUS = f1plus_config()
+
+
+def simulate_f1plus(program: Program) -> SimResult:
+    return simulate(program, F1PLUS)

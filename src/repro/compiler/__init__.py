@@ -1,0 +1,40 @@
+"""The CraterLake compiler (Sec. 6): from FHE programs to op streams.
+
+A Python-embedded DSL (`repro.compiler.dsl`) builds dataflow programs of
+homomorphic operations; kernels (`repro.compiler.kernels`) provide the
+building blocks every benchmark uses (BSGS matrix-vector products,
+polynomial activations, rotate-and-sum reductions); the digit scheduler
+(`repro.compiler.digits`) picks the keyswitching variant per level for a
+security target (Sec. 3.1); and the reuse pass (`repro.compiler.ordering`)
+reorders independent ops to maximize operand/hint reuse, the compiler's
+main lever on off-chip traffic.
+"""
+
+from repro.compiler.digits import digit_schedule
+from repro.compiler.dsl import FheBuilder, Value
+from repro.compiler.kernels import (
+    blocked_matvec,
+    matvec,
+    polynomial_activation,
+    rotate_accumulate,
+)
+from repro.compiler.ordering import order_for_reuse
+from repro.compiler.placement import (
+    Placement,
+    amortized_cost_per_op,
+    plan_refreshes,
+)
+
+__all__ = [
+    "FheBuilder",
+    "Value",
+    "digit_schedule",
+    "blocked_matvec",
+    "matvec",
+    "polynomial_activation",
+    "rotate_accumulate",
+    "order_for_reuse",
+    "Placement",
+    "amortized_cost_per_op",
+    "plan_refreshes",
+]

@@ -1,0 +1,160 @@
+"""Python-embedded DSL for FHE programs (Sec. 6, step 1).
+
+Mirrors the front end of the paper's compiler: programs are built by
+calling homomorphic operations on :class:`Value` handles; the builder
+tracks levels, assigns keyswitching digit counts from a per-level schedule,
+inserts rescales, and emits the flat :class:`repro.ir.Program` stream the
+machine models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import (
+    ADD,
+    CONJUGATE,
+    INPUT,
+    MULT,
+    OUTPUT,
+    PMULT,
+    RESCALE,
+    ROTATE,
+    HomOp,
+    Program,
+)
+
+
+@dataclass(frozen=True)
+class Value:
+    """A handle to a ciphertext value in the dataflow graph."""
+
+    name: str
+    level: int
+
+    def __post_init__(self):
+        if self.level < 1:
+            raise ValueError("values must carry at least one level")
+
+
+class FheBuilder:
+    """Builds a Program; one instance per workload.
+
+    ``digit_schedule`` maps level -> keyswitching digit count t; levels not
+    present default to 1 digit.  ``tag`` (settable via :meth:`phase`)
+    labels emitted ops for per-phase reporting.
+    """
+
+    def __init__(self, name: str, degree: int = 65536, max_level: int = 60,
+                 digit_schedule: dict[int, int] | None = None,
+                 description: str = ""):
+        self.program = Program(name=name, degree=degree, max_level=max_level,
+                               description=description)
+        self.digit_schedule = digit_schedule or {}
+        self._counter = 0
+        self._tag = ""
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}%{self._counter}"
+
+    def _digits(self, level: int) -> int:
+        return self.digit_schedule.get(level, 1)
+
+    def _emit(self, kind: str, level: int, operands=(), hint_id=None,
+              plaintext_id=None, result_prefix: str = "v",
+              repeat: int = 1, compact_pt: bool = False) -> Value:
+        result = self._fresh(result_prefix)
+        self.program.append(HomOp(
+            kind=kind, level=level, result=result,
+            operands=tuple(o.name for o in operands),
+            hint_id=hint_id, plaintext_id=plaintext_id,
+            digits=self._digits(level), tag=self._tag, repeat=repeat,
+            compact_pt=compact_pt,
+        ))
+        return Value(result, level)
+
+    def phase(self, tag: str) -> "FheBuilder":
+        """Label subsequent ops (e.g. 'bootstrap', 'conv2'); returns self."""
+        self._tag = tag
+        return self
+
+    # -- operations -----------------------------------------------------------
+
+    def input(self, name: str, level: int) -> Value:
+        value = Value(self._fresh(f"in_{name}"), level)
+        self.program.append(HomOp(
+            kind=INPUT, level=level, result=value.name, tag=self._tag,
+        ))
+        return value
+
+    def output(self, value: Value) -> None:
+        self.program.append(HomOp(
+            kind=OUTPUT, level=value.level, result=self._fresh("out"),
+            operands=(value.name,), tag=self._tag,
+        ))
+
+    def mult(self, a: Value, b: Value, rescale: bool = True,
+             repeat: int = 1) -> Value:
+        if a.level != b.level:
+            raise ValueError(
+                f"mult operands at different levels ({a.level} vs {b.level});"
+                " mod_drop first"
+            )
+        out = self._emit(MULT, a.level, (a, b), hint_id="relin", repeat=repeat)
+        return self.rescale(out) if rescale else out
+
+    def square(self, a: Value, rescale: bool = True) -> Value:
+        return self.mult(a, a, rescale=rescale)
+
+    def pmult(self, a: Value, plaintext: str, rescale: bool = True,
+              repeat: int = 1, compact: bool = False) -> Value:
+        """Plaintext multiply; ``repeat`` batches that many diagonal
+        products (distinct single-use plaintexts) into one stream op;
+        ``compact`` marks small-coefficient plaintexts stored as ~2
+        residues and extended on chip."""
+        out = self._emit(PMULT, a.level, (a,), plaintext_id=plaintext,
+                         repeat=repeat, compact_pt=compact)
+        return self.rescale(out) if rescale else out
+
+    def add(self, a: Value, b: Value, repeat: int = 1) -> Value:
+        if a.level != b.level:
+            # Harmless level alignment (mod-drop is free in the machine
+            # model); emit at the lower level.
+            level = min(a.level, b.level)
+            a, b = Value(a.name, level), Value(b.name, level)
+        return self._emit(ADD, a.level, (a, b), repeat=repeat)
+
+    def rotate(self, a: Value, steps: int, hint_id: str | None = None,
+               repeat: int = 1) -> Value:
+        """Rotate; ``repeat`` batches independent rotations sharing the
+        same hint (e.g. across the blocks of a blocked matrix product)."""
+        hint = hint_id if hint_id is not None else f"rot{steps}"
+        return self._emit(ROTATE, a.level, (a,), hint_id=hint, repeat=repeat)
+
+    def conjugate(self, a: Value, hint_id: str = "conj") -> Value:
+        return self._emit(CONJUGATE, a.level, (a,), hint_id=hint_id)
+
+    def rescale(self, a: Value) -> Value:
+        if a.level < 2:
+            raise ValueError("cannot rescale below level 1")
+        out = self._emit(RESCALE, a.level, (a,))
+        return Value(out.name, a.level - 1)
+
+    def mod_drop(self, a: Value, level: int) -> Value:
+        """Level alignment; free in the machine model (rows are ignored)."""
+        if level > a.level:
+            raise ValueError("cannot raise a value's level")
+        return Value(a.name, level)
+
+    def raise_level(self, a: Value, level: int, tag: str = "") -> Value:
+        """Model a ModRaise (bootstrapping step 1): bookkeeping only; the
+        compute cost is carried by the ops that follow."""
+        if level < a.level:
+            raise ValueError("raise_level must increase the level")
+        return Value(a.name, level)
+
+    def build(self) -> Program:
+        return self.program

@@ -1,0 +1,143 @@
+"""Reusable homomorphic kernels: the building blocks of every benchmark.
+
+These mirror `repro.fhe`'s functional implementations at the op-stream
+level, with the same operation counts: a BSGS matrix-vector product costs
+~2*sqrt(D) rotations and D plaintext multiplies for D live diagonals; a
+degree-d polynomial activation costs ~2*sqrt(d) ciphertext multiplies at
+~log2(d) depth; a rotate-and-accumulate reduction costs log2(n) rotations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler.dsl import FheBuilder, Value
+
+
+def matvec(b: FheBuilder, x: Value, dim: int, weights: str,
+           diagonals: int | None = None, hint_prefix: str = "",
+           rescale: bool = True, compact_weights: bool = False) -> Value:
+    """BSGS matrix-vector product of a packed dim x dim matrix.
+
+    ``diagonals`` defaults to dense (dim live diagonals).  Weight
+    plaintexts are named per (weights, giant, baby) so reuse across calls
+    with the same ``weights`` label is visible to the register file;
+    rotation hints are shared across all matvecs with the same
+    ``hint_prefix`` (typically "" = program-global baby/giant hints).
+    """
+    d = dim if diagonals is None else diagonals
+    if d < 1:
+        raise ValueError("need at least one live diagonal")
+    n1 = max(1, 1 << round(math.log2(max(1.0, math.sqrt(d)))))
+    n2 = -(-d // n1)
+    # Baby rotations of the input.
+    rotated = {0: x}
+    for j in range(1, n1):
+        rotated[j] = b.rotate(x, j, hint_id=f"{hint_prefix}rot{j}")
+    total: Value | None = None
+    for g in range(n2):
+        group = min(n1, d - g * n1)
+        if group <= 0:
+            break
+        # One batched op stands for the group's diagonal products (and the
+        # adds folding them); the plaintexts are distinct and single-use,
+        # so batching only compresses the op stream, not the cost.
+        inner = b.pmult(rotated[0], f"{weights}/g{g}", rescale=False,
+                        repeat=group, compact=compact_weights)
+        if group > 1:
+            inner = b.add(inner, inner, repeat=group - 1)
+        if g:
+            inner = b.rotate(inner, g * n1,
+                             hint_id=f"{hint_prefix}rot{g * n1}")
+        total = inner if total is None else b.add(total, inner)
+    assert total is not None
+    return b.rescale(total) if rescale else total
+
+
+def polynomial_activation(b: FheBuilder, x: Value, degree: int) -> Value:
+    """Paterson-Stockmeyer activation: ~2*sqrt(d) mults, log2(d)+2 depth."""
+    if degree < 2:
+        raise ValueError("activation degree must be >= 2")
+    k = 1 << math.ceil(math.log2(math.sqrt(degree + 1)))
+    n_chunks = -(-(degree + 1) // k)
+    powers = {1: x}
+    for i in range(2, k + 1):
+        lo, hi = i // 2, i - i // 2
+        a = b.mod_drop(powers[lo], min(powers[lo].level, powers[hi].level))
+        c = b.mod_drop(powers[hi], a.level)
+        powers[i] = b.mult(a, c)
+    giants = {1: powers[k]}
+    for j in range(2, n_chunks):
+        lo, hi = j // 2, j - j // 2
+        a = b.mod_drop(giants[lo], min(giants[lo].level, giants[hi].level))
+        c = b.mod_drop(giants[hi], a.level)
+        giants[j] = b.mult(a, c)
+    result: Value | None = None
+    for j in range(n_chunks):
+        chunk: Value | None = None
+        for i in range(1, k):
+            if j * k + i > degree:
+                break
+            term = b.pmult(powers[i], f"actcoef{j * k + i}", rescale=False)
+            chunk = term if chunk is None else b.add(chunk, term)
+        if chunk is None:
+            continue
+        chunk = Value(chunk.name, chunk.level)
+        if j:
+            giant = giants[j]
+            level = min(chunk.level - 1, giant.level)
+            chunk = b.mult(
+                b.mod_drop(b.rescale(chunk), level),
+                b.mod_drop(giant, level),
+            )
+        else:
+            chunk = b.rescale(chunk)
+        result = chunk if result is None else b.add(result, chunk)
+    assert result is not None
+    return result
+
+
+def rotate_accumulate(b: FheBuilder, x: Value, count: int,
+                      hint_prefix: str = "") -> Value:
+    """log2(count) rotate-and-add reduction (sums ``count`` slot groups)."""
+    acc = x
+    step = 1
+    while step < count:
+        rot = b.rotate(acc, step, hint_id=f"{hint_prefix}rot{step}")
+        acc = b.add(acc, rot)
+        step *= 2
+    return acc
+
+
+def blocked_matvec(b: FheBuilder, x: Value, diagonals: int, blocks: int,
+                   weights: str, hint_prefix: str = "",
+                   compact_weights: bool = False,
+                   rescale: bool = True) -> Value:
+    """``blocks`` independent BSGS matrix products sharing rotation hints.
+
+    The block structure of convolutional layers: every block applies the
+    same rotation steps (so hints are fetched once and reused) to
+    independent data, which also lets the static schedule overlap them
+    fully.  Emitted with batched ops to keep programs compact.
+    """
+    n1 = max(1, 1 << round(math.log2(max(1.0, math.sqrt(diagonals)))))
+    n2 = -(-diagonals // n1)
+    rotated = {0: x}
+    for j in range(1, n1):
+        rotated[j] = b.rotate(x, j, hint_id=f"{hint_prefix}rot{j}",
+                              repeat=blocks)
+    total: Value | None = None
+    for g in range(n2):
+        group = min(n1, diagonals - g * n1)
+        if group <= 0:
+            break
+        inner = b.pmult(rotated[0], f"{weights}/g{g}", rescale=False,
+                        repeat=group * blocks, compact=compact_weights)
+        if group * blocks > 1:
+            inner = b.add(inner, inner, repeat=group * blocks - 1)
+        if g:
+            inner = b.rotate(inner, g * n1, hint_id=f"{hint_prefix}rot{g * n1}",
+                             repeat=blocks)
+        total = inner if total is None else b.add(total, inner)
+    assert total is not None
+    return b.rescale(total) if rescale else total

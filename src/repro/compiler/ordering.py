@@ -1,0 +1,84 @@
+"""Reuse-maximizing operation ordering (Sec. 6, step 2).
+
+The paper orders homomorphic operations with a tiling analysis (Timeloop-
+style) so that large operands - keyswitch hints above all - are reused
+while resident.  This pass implements the list-scheduling equivalent:
+among dependency-ready ops, prefer one using the hint (or plaintext) that
+was touched most recently; otherwise fall back to program order.
+Dependences are operand-producer edges, so the reordering is always
+semantics-preserving.  Runs in O(ops) with per-hint ready queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+
+from repro.ir import HomOp, Program
+
+
+def order_for_reuse(program: Program) -> Program:
+    """Return a new Program with a reuse-friendlier op order."""
+    ops = program.ops
+    producers: dict[str, int] = {op.result: i for i, op in enumerate(ops)}
+
+    consumers: dict[int, list[int]] = defaultdict(list)
+    indegree = [0] * len(ops)
+    for i, op in enumerate(ops):
+        for operand in op.operands:
+            j = producers.get(operand)
+            if j is not None and j != i:
+                consumers[j].append(i)
+                indegree[i] += 1
+
+    def reuse_key(op: HomOp) -> str | None:
+        return op.hint_id or op.plaintext_id
+
+    ready_heap: list[int] = []           # program order fallback
+    ready_by_key: dict[str, deque[int]] = defaultdict(deque)
+    done = [False] * len(ops)
+
+    def push(i: int) -> None:
+        heapq.heappush(ready_heap, i)
+        key = reuse_key(ops[i])
+        if key is not None:
+            ready_by_key[key].append(i)
+
+    for i, d in enumerate(indegree):
+        if d == 0:
+            push(i)
+
+    scheduled: list[HomOp] = []
+    last_key: str | None = None
+    while len(scheduled) < len(ops):
+        i = None
+        # Prefer a ready op reusing the most recent hint/plaintext.
+        if last_key is not None:
+            queue = ready_by_key.get(last_key)
+            while queue:
+                candidate = queue.popleft()
+                if not done[candidate]:
+                    i = candidate
+                    break
+        if i is None:
+            while ready_heap:
+                candidate = heapq.heappop(ready_heap)
+                if not done[candidate]:
+                    i = candidate
+                    break
+        if i is None:
+            raise RuntimeError("dependency cycle in program (builder bug)")
+        op = ops[i]
+        done[i] = True
+        scheduled.append(op)
+        last_key = reuse_key(op) or last_key
+        for j in consumers[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                push(j)
+
+    out = Program(name=program.name, degree=program.degree,
+                  max_level=program.max_level,
+                  description=program.description)
+    out.ops = scheduled
+    return out

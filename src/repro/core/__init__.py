@@ -1,0 +1,31 @@
+"""The CraterLake accelerator model: the paper's primary contribution.
+
+A cycle-level performance model of the 2,048-lane vector uniprocessor
+(Sec. 4-5): chip configurations (including the Table 4 ablations and the
+N=128K variant of Sec. 9.4), per-operation functional-unit cost functions,
+a static-schedule simulator with Belady-managed on-chip storage and
+decoupled data orchestration, the area/power models behind Table 2 and
+Fig. 10b, and functional models of the novel hardware pieces: the CRB unit,
+the KSHGen rejection-sampling pipeline, the two-level transpose network,
+and vector chaining's register-file port accounting.
+"""
+
+from repro.core.config import ChipConfig
+from repro.core.cost import OpCost, op_cost, keyswitch_cost
+from repro.core.simulator import SimResult, simulate
+from repro.core.area import area_breakdown, total_area, scaled_5nm
+from repro.core.energy import energy_breakdown, average_power
+
+__all__ = [
+    "ChipConfig",
+    "OpCost",
+    "op_cost",
+    "keyswitch_cost",
+    "SimResult",
+    "simulate",
+    "area_breakdown",
+    "total_area",
+    "scaled_5nm",
+    "energy_breakdown",
+    "average_power",
+]

@@ -1,0 +1,110 @@
+"""Vector chaining: FU pipelines that bypass the register file (Sec. 5.4).
+
+CraterLake's FUs would need ~24 register-file ports to run concurrently
+through the RF; the 256 MB RF affords 12.  Chaining connects FU outputs
+directly to downstream FU inputs (like Cray-1 chaining, but chained values
+are never written back), so a whole keyswitching stage occupies few ports.
+Fig. 8's homomorphic-multiply pipeline chains 10 FUs with 5 reads and 1
+write.
+
+This module describes the chainable pipelines, computes their port usage,
+and validates a configuration against the machine's port budget - the
+check behind the claim that four pipeline templates (plus variants) cover
+keyswitching with a 3.5x traffic reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Register-file streams each FU needs when it is NOT chained.
+FU_INPUT_STREAMS = {"ntt": 1, "intt": 1, "aut": 1, "mul": 2, "add": 2,
+                    "crb": 1, "kshgen": 0}
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    fu: str
+    # Inputs satisfied by the previous stage's output arrive over chain
+    # wires; the rest come from the register file.
+    chained_inputs: int = 0
+
+    def __post_init__(self):
+        if self.fu not in FU_INPUT_STREAMS:
+            raise ValueError(f"unknown FU {self.fu!r}")
+        if self.chained_inputs > FU_INPUT_STREAMS[self.fu]:
+            raise ValueError(f"{self.fu} has no {self.chained_inputs} inputs")
+
+
+@dataclass
+class Pipeline:
+    """An ordered chain of FU stages ending in one RF write."""
+
+    name: str
+    stages: list[PipelineStage] = field(default_factory=list)
+
+    def read_ports(self) -> int:
+        return sum(
+            FU_INPUT_STREAMS[s.fu] - s.chained_inputs for s in self.stages
+        )
+
+    def write_ports(self) -> int:
+        return 1  # only the final value is written back
+
+    def ports(self) -> int:
+        return self.read_ports() + self.write_ports()
+
+    def unchained_ports(self) -> int:
+        """Ports if every stage read and wrote the register file."""
+        return sum(FU_INPUT_STREAMS[s.fu] + 1 for s in self.stages)
+
+    def port_reduction(self) -> float:
+        return self.unchained_ports() / self.ports()
+
+
+def keyswitch_pipelines() -> list[Pipeline]:
+    """The pipeline templates covering boosted keyswitching (Sec. 6).
+
+    The compiler lowers each keyswitch to a sequence of up to five such
+    chained pipelines; the multiply pipeline below is Fig. 8's example.
+    """
+    return [
+        Pipeline("modup", [
+            PipelineStage("intt"),
+            PipelineStage("crb", chained_inputs=1),
+            PipelineStage("ntt", chained_inputs=1),
+        ]),
+        Pipeline("hint-multiply", [          # Fig. 8's 10-FU pipeline core
+            PipelineStage("mul"),            # p00 = a0 * b0
+            PipelineStage("add", chained_inputs=1),
+            PipelineStage("mul", chained_inputs=1),  # x KSH0 (from KSHGen)
+            PipelineStage("kshgen"),
+            PipelineStage("mul", chained_inputs=2),  # x KSH1 (seeded half)
+            PipelineStage("add", chained_inputs=1),
+        ]),
+        Pipeline("moddown", [
+            PipelineStage("intt"),
+            PipelineStage("crb", chained_inputs=1),
+            PipelineStage("ntt", chained_inputs=1),
+            PipelineStage("mul", chained_inputs=1),  # x P^-1
+            PipelineStage("add", chained_inputs=1),  # fold into output
+        ]),
+        Pipeline("rescale", [
+            PipelineStage("intt"),
+            PipelineStage("ntt", chained_inputs=1),
+            PipelineStage("mul", chained_inputs=1),
+            PipelineStage("add", chained_inputs=1),
+        ]),
+    ]
+
+
+def validate_port_budget(pipelines: list[Pipeline], rf_ports: int = 12,
+                         concurrent: int = 2) -> bool:
+    """Can ``concurrent`` pipelines run against the RF's port budget?
+
+    CraterLake overlaps a compute pipeline with a staging/drain stream;
+    without chaining the same pipelines need far more than 12 ports, which
+    is Table 4's CRB/chain ablation in miniature.
+    """
+    worst = sorted((p.ports() for p in pipelines), reverse=True)
+    return sum(worst[:concurrent]) <= rf_ports

@@ -1,0 +1,91 @@
+"""Functional model of the Change-RNS-Base (CRB) unit (Sec. 5.1, Fig. 6).
+
+The CRB spatially unrolls changeRNSBase's inner loop: up to 60 parallel
+multiply-accumulate pipelines, one per destination residue.  Every input
+residue polynomial is broadcast to all pipelines; pipeline j multiplies it
+by the constant C[src][j] and accumulates into its residue-polynomial
+buffer.  Double buffering lets one conversion's output drain while the
+next one's input streams.
+
+This model computes real outputs (verified against
+``RnsBasis.convert_approx`` in tests) and accounts for cycles, MACs and
+utilization - the unit streams an L-residue input in L * N/E cycles
+regardless of destination count, which is what makes keyswitching O(L) on
+CraterLake (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CrbRun:
+    cycles: int
+    macs: int
+    pipelines_used: int
+    pipelines_total: int
+
+    @property
+    def utilization(self) -> float:
+        return self.pipelines_used / self.pipelines_total
+
+
+class CrbUnit:
+    """A bank of MAC pipelines with per-destination accumulator buffers."""
+
+    def __init__(self, lanes: int = 2048, pipelines: int = 60):
+        self.lanes = lanes
+        self.pipelines = pipelines
+        self._buffers: np.ndarray | None = None
+        self._staged: np.ndarray | None = None  # double buffer
+
+    def convert(
+        self,
+        scaled_inputs: np.ndarray,
+        constants: np.ndarray,
+        dest_moduli,
+    ) -> tuple[np.ndarray, CrbRun]:
+        """Run one changeRNSBase: (L_src, N) inputs -> (L_dst, N) outputs.
+
+        ``scaled_inputs`` must already carry the (Q/q_i)^-1 factors (the
+        scaling pass runs on the regular multipliers upstream, which is how
+        Listing 1 stages the computation).  ``constants[src, dst]`` is
+        (Q/q_src) mod p_dst, the value parked in each pipeline's constant
+        register.
+        """
+        l_src, degree = scaled_inputs.shape
+        l_dst = len(dest_moduli)
+        if l_dst > self.pipelines:
+            raise ValueError(
+                f"{l_dst} destination residues exceed {self.pipelines} "
+                "pipelines; ciphertext larger than the unit's design point"
+            )
+        if constants.shape != (l_src, l_dst):
+            raise ValueError("constant matrix shape mismatch")
+        moduli = np.asarray(dest_moduli, dtype=np.uint64)
+        acc = np.zeros((l_dst, degree), dtype=np.uint64)
+        # Broadcast loop: one pass per input residue; all pipelines MAC.
+        for src in range(l_src):
+            row = scaled_inputs[src]
+            for dst in range(l_dst):
+                q = moduli[dst]
+                acc[dst] = (acc[dst] + row % q * (constants[src, dst] % q)
+                            % q) % q
+        # Double buffering: outputs move to the drain buffer.
+        self._staged, self._buffers = acc, None
+        cycles = l_src * max(1, degree // self.lanes)
+        return acc, CrbRun(
+            cycles=cycles,
+            macs=l_src * l_dst * degree,
+            pipelines_used=l_dst,
+            pipelines_total=self.pipelines,
+        )
+
+    def buffer_megabytes(self, degree: int = 65536,
+                         bytes_per_word: float = 3.5) -> float:
+        """Total accumulator storage: 2 (double buffering) x 60 pipelines
+        x N words = 26.25 MB at N=64K (Sec. 5.1)."""
+        return 2 * self.pipelines * degree * bytes_per_word / 2**20

@@ -1,0 +1,126 @@
+"""Functional model of the KSHGen unit (Sec. 5.2).
+
+Half of every keyswitch hint is uniformly pseudorandom, so CraterLake
+regenerates it from a seed instead of storing/fetching it.  The unit
+samples random bits from a cryptographic PRNG and rejection-samples values
+uniform modulo each (28-bit) prime.  Rejection has variable throughput,
+which clashes with static scheduling; the paper's two mitigations are both
+modeled here:
+
+1. sample *extra* random bits per word, shrinking rejection probability
+   (a value of ``bits`` rejects with probability < q-dependent 2^-(bits-28));
+2. a small (16-deep) output buffer per lane hides residual rejections, and
+   it refills between hints.
+
+:meth:`KshGenUnit.generate` produces the values; :meth:`stall_cycles`
+simulates the buffered pipeline cycle by cycle to show stalls are
+negligible at the paper's operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+BUFFER_DEPTH = 16  # words per lane (Sec. 5.2)
+
+
+@dataclass
+class KshGenStats:
+    words: int
+    rejections: int
+    stall_cycles: int
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejections / max(1, self.words + self.rejections)
+
+
+class KshGenUnit:
+    """Seeded uniform sampling with rejection, as the hardware does it.
+
+    ``extra_bits`` is how many bits beyond the modulus width each draw
+    uses: a draw is the top slice of a (28+extra)-bit random word reduced
+    by rejection - accept iff the draw < q * 2^extra ... equivalently we
+    draw uniformly in [0, 2^(28+extra)) and accept the value modulo-free
+    when it falls below the largest multiple of q.
+    """
+
+    def __init__(self, modulus: int, seed: int = 0, extra_bits: int = 4,
+                 buffer_depth: int = BUFFER_DEPTH,
+                 attempts_per_cycle: int = 2):
+        if modulus >= 1 << 31:
+            raise ValueError("modulus must be below 2^31")
+        self.modulus = modulus
+        self.extra_bits = extra_bits
+        self.buffer_depth = buffer_depth
+        # The PRNG datapath is wider than one word per cycle, so the
+        # sampler can attempt several draws per consumed word - rejection
+        # then only causes transient dips that the buffer absorbs.
+        self.attempts_per_cycle = attempts_per_cycle
+        self.width = modulus.bit_length() + extra_bits
+        # Largest multiple of q below 2^width: the acceptance region.
+        self.limit = (1 << self.width) // modulus * modulus
+        self._rng = np.random.Generator(np.random.Philox(seed))
+
+    @property
+    def rejection_probability(self) -> float:
+        """P(draw rejected) = 1 - limit / 2^width < 2^-extra_bits."""
+        return 1.0 - self.limit / (1 << self.width)
+
+    def generate(self, count: int) -> tuple[np.ndarray, KshGenStats]:
+        """Produce ``count`` uniform values mod q via rejection sampling."""
+        out = np.empty(count, dtype=np.uint64)
+        produced = 0
+        rejections = 0
+        while produced < count:
+            need = count - produced
+            draws = self._rng.integers(0, 1 << self.width,
+                                       size=int(need * 1.1) + 8,
+                                       dtype=np.uint64)
+            accepted = draws[draws < self.limit] % np.uint64(self.modulus)
+            rejections += len(draws) - len(
+                draws[draws < np.uint64(self.limit)]
+            )
+            take = min(len(accepted), need)
+            out[produced:produced + take] = accepted[:take]
+            produced += take
+        return out, KshGenStats(words=count, rejections=rejections,
+                                stall_cycles=0)
+
+    def stall_cycles(self, cycles: int, seed: int = 1) -> KshGenStats:
+        """Simulate the buffered pipeline for ``cycles`` consume cycles.
+
+        Each cycle the sampler attempts one draw (accepted with probability
+        1 - p_reject) into the buffer and the consumer pops one word.  The
+        buffer starts full (it refills between hints).  Returns how many
+        consumer cycles stalled on an empty buffer - negligible at the
+        default extra_bits, which is the unit's design point.
+        """
+        rng = np.random.default_rng(seed)
+        successes = rng.binomial(self.attempts_per_cycle,
+                                 1.0 - self.rejection_probability,
+                                 size=cycles)
+        fill = self.buffer_depth
+        stalls = 0
+        rejections = 0
+        for produced in successes:
+            rejections += self.attempts_per_cycle - int(produced)
+            fill = min(self.buffer_depth, fill + int(produced))
+            if fill > 0:
+                fill -= 1
+            else:
+                stalls += 1
+        return KshGenStats(words=cycles - stalls, rejections=rejections,
+                           stall_cycles=stalls)
+
+
+def seed_is_schedulable(modulus: int, seed: int, words: int,
+                        extra_bits: int = 4) -> bool:
+    """Software-side seed vetting (Sec. 5.2): since the compiler controls
+    seeds, it can test and skip the rare ones that would under-produce at
+    speed for a given hint length."""
+    unit = KshGenUnit(modulus, seed=seed, extra_bits=extra_bits)
+    stats = unit.stall_cycles(words, seed=seed)
+    return stats.stall_cycles == 0

@@ -1,0 +1,289 @@
+"""Static cycle-level simulator for CraterLake-style machines.
+
+Executes a :class:`repro.ir.Program` against a :class:`ChipConfig`,
+modeling
+
+* per-op compute time as the limiting resource among FU classes, register
+  file ports (with vector chaining's reduction) and the transpose network
+  (`repro.core.cost`);
+* the single-level register file as a Belady-MIN-managed store of
+  ciphertexts, plaintexts and keyswitch hints - the compiler's eviction
+  policy (Sec. 6);
+* HBM as a bandwidth-limited stream, overlapped with compute through
+  decoupled data orchestration: memory for op i+1 proceeds while op i
+  computes, which is the two-clock recurrence below.
+
+Outputs match what the paper's evaluation reports: execution time, FU and
+bandwidth utilization (Fig. 9), off-chip traffic split into KSH / inputs /
+intermediate loads / stores (Fig. 10a), and activity counts the energy
+model converts into the Fig. 10b power breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ChipConfig
+from repro.core.cost import (
+    OpCost,
+    ciphertext_words,
+    op_cost,
+    op_latency,
+    plaintext_words,
+)
+from repro.ir import INPUT, OUTPUT, Program
+
+# Object categories for traffic accounting (Fig. 10a).
+KSH = "ksh"
+INPUTS = "inputs"
+INTERM = "interm"
+
+
+@dataclass
+class SimResult:
+    """Everything the evaluation needs from one simulated run."""
+
+    name: str
+    config_name: str
+    cycles: float
+    compute_cycles: float
+    mem_cycles: float
+    fu_busy_cycles: dict[str, float]
+    traffic_words: dict[str, float]  # ksh / inputs / interm_load / interm_store
+    scalar_mults: float
+    scalar_adds: float
+    kshgen_words: float
+    network_words: float
+    clock_hz: float
+    bytes_per_word: float
+    fu_units: dict[str, int] = field(default_factory=dict)
+    port_stream_elements: float = 0.0
+    rf_capacity_words: int = 0
+    peak_resident_words: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def total_traffic_bytes(self) -> float:
+        return sum(self.traffic_words.values()) * self.bytes_per_word
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        return min(1.0, self.mem_cycles / self.cycles) if self.cycles else 0.0
+
+    def fu_utilization(self) -> float:
+        """Average busy fraction across the chip's FUs (Fig. 9 metric):
+        per-class busy cycles weighted by how many units each class has
+        (CraterLake: CRB, 2 NTT, Aut, KSHGen, 5 Mul, 5 Add = 15 FUs)."""
+        if not self.cycles or not self.fu_units:
+            return 0.0
+        busy = sum(
+            cycles * self.fu_units.get(cls, 1)
+            for cls, cycles in self.fu_busy_cycles.items()
+        )
+        total_units = sum(self.fu_units.values())
+        return min(1.0, busy / (total_units * self.cycles))
+
+
+@dataclass
+class _Resident:
+    words: float
+    category: str
+    dirty: bool
+    next_use: float  # op index of next use; inf if none
+
+
+class _RegisterFile:
+    """Belady-MIN managed on-chip storage (the compiler's plan, Sec. 6)."""
+
+    def __init__(self, capacity_words: float):
+        self.capacity = capacity_words
+        self.objects: dict[str, _Resident] = {}
+        self.used = 0.0
+        self.peak = 0.0
+
+    def lookup(self, obj: str) -> _Resident | None:
+        return self.objects.get(obj)
+
+    def insert(self, obj: str, words: float, category: str, dirty: bool,
+               next_use: float) -> list[tuple[str, _Resident]]:
+        """Make obj resident; returns evicted (name, record) pairs."""
+        evicted = []
+        if words > self.capacity:
+            # Operand larger than the register file: it streams through;
+            # model as transient residency (no eviction bookkeeping).
+            return evicted
+        while self.used + words > self.capacity:
+            victim = max(
+                self.objects, key=lambda o: (self.objects[o].next_use,
+                                             -self.objects[o].words)
+            )
+            record = self.objects.pop(victim)
+            self.used -= record.words
+            evicted.append((victim, record))
+        self.objects[obj] = _Resident(words, category, dirty, next_use)
+        self.used += words
+        self.peak = max(self.peak, self.used)
+        return evicted
+
+    def drop(self, obj: str) -> None:
+        record = self.objects.pop(obj, None)
+        if record is not None:
+            self.used -= record.words
+
+
+def _next_use_table(program: Program) -> list[dict[str, int]]:
+    """next_use[i][obj] = first op index > i that touches obj (else inf)."""
+    last: dict[str, float] = {}
+    table: list[dict[str, float]] = [dict() for _ in program.ops]
+    for i in range(len(program.ops) - 1, -1, -1):
+        op = program.ops[i]
+        touched = list(op.operands)
+        if op.hint_id:
+            touched.append(op.hint_id)
+        if op.plaintext_id:
+            touched.append(op.plaintext_id)
+        touched.append(op.result)
+        entry = {}
+        for obj in touched:
+            entry[obj] = last.get(obj, float("inf"))
+        table[i] = entry
+        for obj in touched:
+            last[obj] = i
+    return table
+
+
+def simulate(program: Program, cfg: ChipConfig) -> SimResult:
+    """Run ``program`` on machine ``cfg``; see module docstring."""
+    if program.degree > cfg.max_degree:
+        raise ValueError(
+            f"{program.name} uses N={program.degree}, above {cfg.name}'s "
+            f"native maximum {cfg.max_degree}"
+        )
+    n = program.degree
+    rf = _RegisterFile(cfg.register_file_words)
+    next_use = _next_use_table(program)
+
+    fu_busy: dict[str, float] = {}
+    prev_result: str | None = None
+    traffic = {KSH: 0.0, INPUTS: 0.0, "interm_load": 0.0, "interm_store": 0.0}
+    totals = OpCost()
+    mem_clock = 0.0
+    comp_clock = 0.0
+    words_per_cycle = cfg.hbm_words_per_cycle
+
+    def fetch(obj: str, words: float, category: str, dirty: bool,
+              uses_at: float) -> float:
+        """Ensure obj is resident; return words moved from memory."""
+        record = rf.lookup(obj)
+        if record is not None:
+            record.next_use = uses_at
+            return 0.0
+        moved = words
+        if category == KSH:
+            traffic[KSH] += words
+        elif category == INPUTS:
+            traffic[INPUTS] += words
+        else:
+            traffic["interm_load"] += words
+        for _, victim in rf.insert(obj, words, category, dirty, uses_at):
+            if victim.dirty and victim.next_use != float("inf"):
+                traffic["interm_store"] += victim.words
+                moved += victim.words
+        return moved
+
+    for i, op in enumerate(program.ops):
+        uses = next_use[i]
+        mem_words = 0.0
+
+        if op.kind == INPUT:
+            # Client/weight data arriving from memory on first touch.
+            words = ciphertext_words(n, op.level)
+            mem_words += fetch(op.result, words, INPUTS, False,
+                               uses.get(op.result, float("inf")))
+            mem_clock += mem_words / words_per_cycle
+            continue
+        if op.kind == OUTPUT:
+            words = ciphertext_words(n, op.level)
+            traffic["interm_store"] += words
+            mem_clock += words / words_per_cycle
+            for operand in op.operands:
+                rf.drop(operand)
+            continue
+
+        cost = op_cost(cfg, op, n)
+        totals.merge(cost)
+
+        # Operand residency.
+        for operand in op.operands:
+            words = ciphertext_words(n, op.level)
+            mem_words += fetch(operand, words, INTERM, True, uses[operand])
+        if op.plaintext_id is not None:
+            words = (2 * n if op.compact_pt
+                     else plaintext_words(n, op.level)) * op.repeat
+            mem_words += fetch(op.plaintext_id, words, INPUTS, False,
+                               uses[op.plaintext_id])
+        if op.hint_id is not None and cost.hint_words:
+            mem_words += fetch(op.hint_id, cost.hint_words, KSH, False,
+                               uses[op.hint_id])
+        # Result allocation (produced on chip; traffic only if evicted and
+        # reloaded later).
+        for _, victim in rf.insert(op.result, ciphertext_words(n, op.level),
+                                   INTERM, True, uses[op.result]):
+            if victim.dirty and victim.next_use != float("inf"):
+                traffic["interm_store"] += victim.words
+                mem_words += victim.words
+
+        # Decoupled data orchestration: memory streams in op order; compute
+        # for op i starts when both the previous op and its own data are
+        # done (prefetching hides latency whenever compute is the bound).
+        mem_clock += mem_words / words_per_cycle
+        cycles = cost.compute_cycles(cfg)
+        # Pipeline-fill latency is exposed only when this op consumes the
+        # previous op's result (a true dependence chain); independent ops
+        # overlap in the static schedule.
+        if prev_result is not None and prev_result in op.operands:
+            cycles += op_latency(cfg, op, n)
+        prev_result = op.result
+        comp_clock = max(comp_clock, mem_clock) + cycles
+        for cls, elements in cost.fu_elements.items():
+            capacity = max(1.0, _unit_capacity(cfg, cls))
+            fu_busy[cls] = fu_busy.get(cls, 0.0) + elements / capacity
+
+    total_cycles = max(comp_clock, mem_clock)
+    return SimResult(
+        name=program.name,
+        config_name=cfg.name,
+        cycles=total_cycles,
+        compute_cycles=comp_clock,
+        mem_cycles=mem_clock,
+        fu_busy_cycles=fu_busy,
+        traffic_words=traffic,
+        scalar_mults=totals.scalar_mults,
+        scalar_adds=totals.scalar_adds,
+        kshgen_words=totals.kshgen_elements,
+        network_words=totals.network_words,
+        clock_hz=cfg.clock_hz,
+        bytes_per_word=cfg.bytes_per_word,
+        fu_units={
+            "ntt": cfg.ntt_units, "mul": cfg.mul_units,
+            "add": cfg.add_units, "aut": cfg.aut_units,
+            "crb": 1 if cfg.crb else 0,
+            "kshgen": 1 if cfg.kshgen else 0,
+        },
+        port_stream_elements=totals.port_stream_elements,
+        rf_capacity_words=cfg.register_file_words,
+        peak_resident_words=rf.peak,
+    )
+
+
+def _unit_capacity(cfg: ChipConfig, cls: str) -> float:
+    from repro.core.cost import _class_capacity
+
+    return _class_capacity(cfg, cls)

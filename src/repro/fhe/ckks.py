@@ -1,0 +1,415 @@
+"""The CKKS scheme: keys, encryption, and homomorphic evaluation.
+
+This module ties the substrate together into the FHE interface of Sec. 2.1:
+element-wise addition, element-wise multiplication, and slot rotations over
+encrypted complex vectors, with rescaling and level management.  All
+parameters follow the paper's conventions: 28-bit RNS moduli, boosted
+t-digit keyswitching with seeded hints, dense or sparse ternary secrets.
+
+The scheme is exact about its own bookkeeping (levels, scales, bases) and
+approximate about values, as CKKS is by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fhe.encoder import CkksEncoder
+from repro.fhe.keyswitch import (
+    KeySwitchHint,
+    boosted_keyswitch,
+    generate_hint,
+    standard_keyswitch,
+)
+from repro.fhe.poly import EVAL, RnsPoly
+from repro.fhe.primes import find_ntt_primes
+from repro.fhe.rns import RnsBasis
+from repro.fhe.sampling import (
+    ERROR_SIGMA,
+    error_poly,
+    ternary_secret,
+)
+
+# Relative scale mismatch allowed when adding.  Evaluation code keeps scales
+# aligned *exactly* via scale-targeted plaintext encoding (see ``pmult``), so
+# this tolerance only absorbs float64 round-off in the bookkeeping.
+_SCALE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """Static parameters of a CKKS instantiation.
+
+    ``max_level`` is the paper's L_max (number of 28-bit primes in the full
+    chain) and ``aux_level`` the size of the special basis P used by boosted
+    keyswitching.  ``digits`` is the default keyswitching digit count t;
+    t=1 with aux_level == max_level reproduces Listing 1 exactly, and the
+    general t matches Sec. 3.1 (hint of t+1 ciphertexts, modulus expansion
+    (t+1)/t).
+    """
+
+    degree: int = 2048
+    max_level: int = 8
+    aux_level: int | None = None
+    modulus_bits: int = 28
+    digits: int = 1
+    error_sigma: float = ERROR_SIGMA
+    secret_hamming: int | None = None
+    seed: int = 2022
+
+    def __post_init__(self):
+        if self.degree & (self.degree - 1):
+            raise ValueError("degree must be a power of two")
+        if self.max_level < 1:
+            raise ValueError("need at least one modulus")
+        if self.digits < 1 or self.digits > self.max_level:
+            raise ValueError("digits must be in [1, max_level]")
+        aux = self.aux_level
+        if aux is None:
+            aux = -(-self.max_level // self.digits)  # ceil
+            object.__setattr__(self, "aux_level", aux)
+        if aux < 1:
+            raise ValueError("special basis needs at least one prime")
+
+    @property
+    def alpha(self) -> int:
+        """Digit width in primes: ceil(L_max / t)."""
+        return -(-self.max_level // self.digits)
+
+    @property
+    def slots(self) -> int:
+        return self.degree // 2
+
+
+class Plaintext:
+    """An encoded (unencrypted) polynomial with its scale."""
+
+    def __init__(self, poly: RnsPoly, scale: float):
+        self.poly = poly
+        self.scale = scale
+
+    @property
+    def level(self) -> int:
+        return self.poly.level
+
+
+class Ciphertext:
+    """A CKKS ciphertext (c0, c1) with scale and level bookkeeping.
+
+    Decrypts to c0 + c1*s.  ``level`` equals the number of live RNS primes,
+    the paper's remaining multiplicative budget L.
+    """
+
+    def __init__(self, c0: RnsPoly, c1: RnsPoly, scale: float):
+        if c0.basis != c1.basis:
+            raise ValueError("ciphertext halves disagree on basis")
+        self.c0 = c0
+        self.c1 = c1
+        self.scale = scale
+
+    @property
+    def level(self) -> int:
+        return self.c0.level
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.c0.basis
+
+    @property
+    def degree(self) -> int:
+        return self.c0.degree
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.scale)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ciphertext(N={self.degree}, L={self.level}, "
+            f"log_scale={np.log2(self.scale):.1f})"
+        )
+
+    def size_words(self) -> int:
+        """Residue words occupied: 2 polynomials of L residues each."""
+        return 2 * self.level * self.degree
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret; coefficient form kept so it can enter any basis."""
+
+    coeffs: np.ndarray
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def poly(self, basis: RnsBasis) -> RnsPoly:
+        poly = self._cache.get(basis.moduli)
+        if poly is None:
+            poly = RnsPoly.from_integers(basis, self.coeffs, EVAL)
+            self._cache[basis.moduli] = poly
+        return poly
+
+
+class CkksContext:
+    """Key generation plus every homomorphic operation.
+
+    One context owns the modulus chain (Q basis), the special basis (P), the
+    encoder, and the keyswitch hints it has generated.  Methods that consume
+    hints take them explicitly so tests can exercise hint reuse, exactly as
+    the compiler's reuse analysis does for KSH traffic.
+    """
+
+    def __init__(self, params: CkksParams):
+        self.params = params
+        primes = find_ntt_primes(
+            params.max_level + params.aux_level,
+            params.modulus_bits,
+            params.degree,
+        )
+        # The chain is consumed from the back by rescaling, so the q primes
+        # come first; the remaining primes form the special basis P.
+        self.q_basis = RnsBasis(primes[: params.max_level])
+        self.aux_basis = RnsBasis(primes[params.max_level :])
+        self.full_basis = self.q_basis.extend(self.aux_basis)
+        self.encoder = CkksEncoder(params.degree)
+        self.rng = np.random.default_rng(params.seed)
+        self.default_scale = float(self.q_basis.moduli[-1])
+        self._hint_seeds = iter(range(10_000_000, 2**31))
+
+    # -- bases -------------------------------------------------------------
+
+    def basis_at(self, level: int) -> RnsBasis:
+        if not 1 <= level <= self.params.max_level:
+            raise ValueError(f"level {level} outside [1, {self.params.max_level}]")
+        return self.q_basis[:level]
+
+    # -- key generation ------------------------------------------------------
+
+    def keygen(self) -> SecretKey:
+        coeffs = ternary_secret(
+            self.params.degree, self.rng, self.params.secret_hamming
+        )
+        return SecretKey(coeffs=coeffs)
+
+    def relin_hint(self, sk: SecretKey, digits: int | None = None) -> KeySwitchHint:
+        """Hint for s^2 -> s (homomorphic multiplication)."""
+        s = sk.poly(self.full_basis)
+        return self._make_hint(s * s, sk, digits, label="relin")
+
+    def rotation_hint(
+        self, sk: SecretKey, steps: int, digits: int | None = None
+    ) -> KeySwitchHint:
+        """Hint for phi_k(s) -> s where phi_k rotates slots by ``steps``."""
+        k = self.rotation_exponent(steps)
+        s_rot = sk.poly(self.full_basis).automorphism(k)
+        return self._make_hint(s_rot, sk, digits, label=f"rot{steps}")
+
+    def conjugation_hint(self, sk: SecretKey, digits: int | None = None) -> KeySwitchHint:
+        k = 2 * self.params.degree - 1
+        s_conj = sk.poly(self.full_basis).automorphism(k)
+        return self._make_hint(s_conj, sk, digits, label="conj")
+
+    def standard_relin_hint(self, sk: SecretKey) -> KeySwitchHint:
+        """Per-prime (BV) hint, the algorithm F1 accelerates; for comparison."""
+        s = sk.poly(self.q_basis)
+        return generate_hint(
+            s * s, sk.poly(self.q_basis), self.q_basis, None, 1,
+            self.rng, next(self._hint_seeds), self.params.error_sigma,
+            label="relin-std",
+        )
+
+    def _make_hint(self, s_old, sk, digits, label) -> KeySwitchHint:
+        digits = self.params.digits if digits is None else digits
+        alpha = -(-self.params.max_level // digits)
+        if alpha > len(self.aux_basis):
+            raise ValueError(
+                f"{digits}-digit keyswitching needs {alpha} special primes, "
+                f"context has {len(self.aux_basis)}"
+            )
+        aux_used = (
+            self.aux_basis[:alpha]
+            if alpha < len(self.aux_basis)
+            else self.aux_basis
+        )
+        full_used = self.q_basis.extend(aux_used)
+        # ``s_old`` arrives over the maximal basis; because aux_used is a
+        # prefix of the special basis, restriction is a row slice (valid in
+        # the EVAL domain too, since the NTT acts per residue).
+        s_old_used = RnsPoly(full_used, s_old.data[: len(full_used)], s_old.domain)
+        return generate_hint(
+            s_old_used, sk.poly(full_used), self.q_basis, aux_used,
+            alpha, self.rng, next(self._hint_seeds), self.params.error_sigma,
+            label=label,
+        )
+
+    def rotation_exponent(self, steps: int) -> int:
+        """Automorphism exponent 5^steps mod 2N realizing a rotation."""
+        n2 = 2 * self.params.degree
+        return pow(5, steps % self.params.slots, n2)
+
+    # -- encode / encrypt / decrypt -----------------------------------------
+
+    def encode(self, values, level: int | None = None,
+               scale: float | None = None) -> Plaintext:
+        level = self.params.max_level if level is None else level
+        scale = self.default_scale if scale is None else scale
+        poly = self.encoder.encode_poly(self.basis_at(level), values, scale)
+        return Plaintext(poly, scale)
+
+    def encrypt(self, sk: SecretKey, plaintext: Plaintext) -> Ciphertext:
+        """Symmetric encryption: ct = (-a*s + m + e, a)."""
+        basis = plaintext.poly.basis
+        degree = self.params.degree
+        a = RnsPoly.uniform_random(basis, degree, self.rng, EVAL)
+        e = error_poly(basis, degree, self.rng, self.params.error_sigma)
+        s = sk.poly(basis)
+        c0 = plaintext.poly.to_eval() + e - a * s
+        return Ciphertext(c0, a, plaintext.scale)
+
+    def encrypt_values(self, sk: SecretKey, values,
+                       level: int | None = None) -> Ciphertext:
+        return self.encrypt(sk, self.encode(values, level))
+
+    def decrypt(self, sk: SecretKey, ct: Ciphertext) -> np.ndarray:
+        """Decrypt to complex slot values."""
+        s = sk.poly(ct.basis)
+        m = (ct.c0 + ct.c1 * s).to_coeff()
+        return self.encoder.decode(m.to_integers(), ct.scale)
+
+    def decrypt_poly(self, sk: SecretKey, ct: Ciphertext) -> RnsPoly:
+        s = sk.poly(ct.basis)
+        return (ct.c0 + ct.c1 * s).to_coeff()
+
+    # -- additive operations ---------------------------------------------------
+
+    def _check_add(self, a: Ciphertext, b) -> None:
+        if abs(a.scale - b.scale) > _SCALE_TOLERANCE * a.scale:
+            raise ValueError(
+                f"scale mismatch: {a.scale:.6g} vs {b.scale:.6g}; rescale or "
+                "re-encode first"
+            )
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_add(a, b)
+        return Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_add(a, b)
+        return Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.scale)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(-a.c0, -a.c1, a.scale)
+
+    def add_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self._check_add(a, pt)
+        return Ciphertext(a.c0 + pt.poly.to_eval(), a.c1.copy(), a.scale)
+
+    def add_scalar(self, a: Ciphertext, value: complex) -> Ciphertext:
+        pt = self.encode([value], level=a.level, scale=a.scale)
+        return self.add_plain(a, pt)
+
+    # -- multiplicative operations ---------------------------------------------
+
+    def mul_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Ciphertext x plaintext; scales multiply, no keyswitch needed."""
+        p = pt.poly.to_eval()
+        return Ciphertext(a.c0 * p, a.c1 * p, a.scale * pt.scale)
+
+    def mul_scalar(self, a: Ciphertext, value: complex,
+                   scale: float | None = None) -> Ciphertext:
+        """Multiply by a scalar; the default encoding scale is the level's
+        last prime, so a following rescale leaves ``a.scale`` unchanged."""
+        scale = float(a.basis.moduli[-1]) if scale is None else scale
+        pt = self.encode([value], level=a.level, scale=scale)
+        return self.mul_plain(a, pt)
+
+    def pmult(self, a: Ciphertext, values,
+              result_scale: float | None = None) -> Ciphertext:
+        """Plaintext multiply + rescale with an exactly targeted result scale.
+
+        CKKS scales drift when moduli are not exactly 2**28; summing
+        branches of different depth then adds mismatched-scale values.  The
+        fix used throughout this library: pick the *encoding* scale of the
+        plaintext as ``result_scale * q_last / a.scale`` so the product
+        rescales to ``result_scale`` exactly.  The paper's compiler does the
+        equivalent bookkeeping when it schedules plaintext operands.
+        """
+        if result_scale is None:
+            result_scale = a.scale
+        q_last = float(a.basis.moduli[-1])
+        enc_scale = result_scale * q_last / a.scale
+        pt = self.encode(values, level=a.level, scale=enc_scale)
+        out = self.rescale(self.mul_plain(a, pt))
+        # Float bookkeeping may be off by an ulp; pin the declared scale.
+        out.scale = result_scale
+        return out
+
+    def multiply(self, a: Ciphertext, b: Ciphertext,
+                 relin: KeySwitchHint) -> Ciphertext:
+        """Full homomorphic multiplication with relinearization.
+
+        (a0 + a1 s)(b0 + b1 s) = d0 + d1 s + d2 s^2; the d2 term is folded
+        back to degree one by keyswitching with the s^2 -> s hint.
+        """
+        if a.basis != b.basis:
+            raise ValueError("operands must be at the same level")
+        d0 = a.c0 * b.c0
+        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d2 = a.c1 * b.c1
+        ks0, ks1 = self._apply_hint(d2, relin)
+        return Ciphertext(d0 + ks0, d1 + ks1, a.scale * b.scale)
+
+    def square(self, a: Ciphertext, relin: KeySwitchHint) -> Ciphertext:
+        return self.multiply(a, a, relin)
+
+    def _apply_hint(self, poly: RnsPoly, hint: KeySwitchHint):
+        if hint.aux_count:
+            aux = self.aux_basis[: hint.aux_count] if hint.aux_count < len(
+                self.aux_basis
+            ) else self.aux_basis
+            return boosted_keyswitch(poly, hint, aux)
+        return standard_keyswitch(poly, hint)
+
+    # -- level management -------------------------------------------------------
+
+    def rescale(self, a: Ciphertext) -> Ciphertext:
+        """Drop the last prime, dividing the scale by it (trims noise)."""
+        q_last = a.basis.moduli[-1]
+        return Ciphertext(
+            a.c0.rescale(), a.c1.rescale(), a.scale / q_last
+        )
+
+    def mod_drop(self, a: Ciphertext, levels: int = 1) -> Ciphertext:
+        """Discard trailing primes without dividing (level alignment)."""
+        c0, c1 = a.c0, a.c1
+        for _ in range(levels):
+            c0 = c0.drop_last_modulus()
+            c1 = c1.drop_last_modulus()
+        return Ciphertext(c0, c1, a.scale)
+
+    def drop_to_level(self, a: Ciphertext, level: int) -> Ciphertext:
+        if level > a.level:
+            raise ValueError("cannot raise level by dropping")
+        return self.mod_drop(a, a.level - level)
+
+    # -- rotations ---------------------------------------------------------------
+
+    def rotate(self, a: Ciphertext, steps: int,
+               hint: KeySwitchHint) -> Ciphertext:
+        """Cyclically rotate slots left by ``steps``.
+
+        Applies the automorphism x -> x^(5^steps) to both halves, then
+        keyswitches the c1 half back to the original key.
+        """
+        k = self.rotation_exponent(steps)
+        return self._automorphism_and_switch(a, k, hint)
+
+    def conjugate(self, a: Ciphertext, hint: KeySwitchHint) -> Ciphertext:
+        """Complex-conjugate every slot (automorphism x -> x^-1)."""
+        return self._automorphism_and_switch(a, 2 * self.params.degree - 1, hint)
+
+    def _automorphism_and_switch(self, a, exponent, hint) -> Ciphertext:
+        c0 = a.c0.automorphism(exponent)
+        c1 = a.c1.automorphism(exponent)
+        ks0, ks1 = self._apply_hint(c1, hint)
+        return Ciphertext(c0 + ks0, ks1, a.scale)

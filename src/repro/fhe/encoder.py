@@ -1,0 +1,94 @@
+"""CKKS encoder: complex vectors <-> integer polynomials.
+
+CKKS packs n = N/2 complex numbers into one degree-(N-1) real polynomial via
+the canonical embedding: slot j holds the evaluation of the polynomial at
+zeta^(5^j), where zeta is a primitive 2N-th root of unity.  The 5^j ordering
+is what turns the ring automorphism x -> x^(5^r) into a cyclic rotation of
+slots by r, and x -> x^(-1) into complex conjugation of every slot.
+
+Both directions are computed with a single length-2N FFT (evaluating a real
+polynomial at all odd powers of zeta), then indexed by the rotation group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.poly import RnsPoly
+from repro.fhe.rns import RnsBasis
+
+
+class CkksEncoder:
+    """Encode/decode between C^(N/2) and scaled integer coefficient vectors."""
+
+    def __init__(self, degree: int):
+        if degree & (degree - 1) or degree < 4:
+            raise ValueError("degree must be a power of two >= 4")
+        self.degree = degree
+        self.slots = degree // 2
+        # rot_group[j] = 5^j mod 2N: the slot-j evaluation exponent.
+        group = np.empty(self.slots, dtype=np.int64)
+        acc = 1
+        for j in range(self.slots):
+            group[j] = acc
+            acc = acc * 5 % (2 * degree)
+        self.rot_group = group
+
+    # -- real-coefficient core transforms ---------------------------------
+
+    def embed(self, coeffs: np.ndarray) -> np.ndarray:
+        """Evaluate a real coefficient vector at zeta^(5^j) for all slots."""
+        n2 = 2 * self.degree
+        padded = np.zeros(n2, dtype=np.complex128)
+        padded[: self.degree] = coeffs
+        # ifft(x)[k] * 2N = sum_i x_i * exp(+2*pi*1j*i*k / 2N) = m(zeta^k)
+        evals = np.fft.ifft(padded) * n2
+        return evals[self.rot_group]
+
+    def unembed(self, slot_values: np.ndarray) -> np.ndarray:
+        """Real coefficient vector whose embedding equals ``slot_values``.
+
+        Fills the conjugate-symmetric spectrum (values at zeta^(-5^j) are
+        conjugated) and inverts with one FFT; the result is exactly real up
+        to floating-point error.
+        """
+        n2 = 2 * self.degree
+        spectrum = np.zeros(n2, dtype=np.complex128)
+        spectrum[self.rot_group] = slot_values
+        spectrum[n2 - self.rot_group] = np.conj(slot_values)
+        # a_i = (1/N) sum_{k odd} W_k zeta^{-ki}  = fft(W)[i] / N
+        coeffs = np.fft.fft(spectrum)[: self.degree] / self.degree
+        return coeffs.real
+
+    # -- public encode/decode ---------------------------------------------
+
+    def encode(self, values, scale: float) -> np.ndarray:
+        """Complex slot values -> rounded big-int coefficient array (object).
+
+        ``values`` shorter than N/2 slots is repeated to fill the ciphertext
+        (the standard replication trick for partially packed data).
+        """
+        values = np.asarray(values, dtype=np.complex128).ravel()
+        if len(values) > self.slots:
+            raise ValueError(f"at most {self.slots} slots available")
+        if self.slots % len(values):
+            raise ValueError("slot count must be a multiple of the value count")
+        full = np.tile(values, self.slots // len(values))
+        coeffs = self.unembed(full) * scale
+        limit = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
+        if limit >= 2**62:
+            # Beyond float64's exact-integer range the rounding below would
+            # corrupt coefficients silently; no parameter set in this repo
+            # gets close (28-bit scales), so treat it as a usage error.
+            raise OverflowError("encoded coefficients exceed 2^62; lower the scale")
+        return np.array([int(round(c)) for c in coeffs], dtype=object)
+
+    def decode(self, coeffs, scale: float) -> np.ndarray:
+        """Centered big-int coefficients -> complex slot values."""
+        as_float = np.array([float(c) for c in coeffs], dtype=np.float64)
+        return self.embed(as_float) / scale
+
+    def encode_poly(self, basis: RnsBasis, values, scale: float,
+                    domain: str = "eval") -> RnsPoly:
+        """Encode directly into an RnsPoly over ``basis``."""
+        return RnsPoly.from_integers(basis, self.encode(values, scale), domain)

@@ -1,0 +1,230 @@
+"""Keyswitching: standard (BV) and boosted (hybrid, t-digit) algorithms.
+
+Keyswitching re-encrypts a polynomial from one secret key to another without
+decrypting; homomorphic multiplication needs it (s^2 -> s) and so does every
+rotation (phi(s) -> s).  It dominates FHE runtime ("over 90% of all
+operations", Sec. 2.2), which is why the paper designs CraterLake around it.
+
+Two algorithms are implemented:
+
+* **Standard keyswitching** (`standard_keyswitch`): the per-RNS-prime (BV)
+  decomposition F1 targets.  The hint holds 2*L^2 residue polynomials
+  (1.7 GB at N=64K, L=60) and applying it costs L^2 NTTs.
+* **Boosted keyswitching** (`boosted_keyswitch`): the Gentry-Halevi-Smart
+  family (Listing 1), parameterized by the number of digits t.  The input
+  is expanded to a wider basis Q*P, the hint shrinks to (t+1) ciphertexts,
+  and NTT count drops to O(L).  t=1 is the paper's Listing 1; higher t
+  trades hint size for a smaller modulus expansion (Sec. 3.1).
+
+Both produce a pair (ks0, ks1) over the input's basis such that
+``ks0 + ks1*s_new ~= c * s_old`` up to keyswitching noise.
+
+Hints follow the KSHGen convention: the uniform half is regenerated from a
+seed (see `repro.fhe.sampling.seeded_uniform_poly`) rather than stored,
+halving hint footprint exactly as the hardware unit does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fhe.poly import EVAL, RnsPoly
+from repro.fhe.rns import RnsBasis
+from repro.fhe.sampling import error_poly, seeded_uniform_poly
+
+
+def digit_bases(basis: RnsBasis, alpha: int) -> list[RnsBasis]:
+    """Split a basis into contiguous digits of at most ``alpha`` primes."""
+    if alpha <= 0:
+        raise ValueError("digit size must be positive")
+    moduli = basis.moduli
+    return [
+        RnsBasis(moduli[i : i + alpha]) for i in range(0, len(moduli), alpha)
+    ]
+
+
+@dataclass
+class KeySwitchHint:
+    """A keyswitch hint (KSH): seeded gadget encryption of ``s_old`` under ``s_new``.
+
+    ``b_polys[i]`` is the stored half for digit i, over the full basis
+    Q_max*P in the EVAL domain; the uniform half ``a_i`` is regenerated from
+    ``seed`` on demand (the KSHGen optimization).  ``alpha`` is the digit
+    width in primes; ``aux_count`` = len(P).
+    """
+
+    b_polys: list[RnsPoly]
+    seed: int
+    alpha: int
+    full_basis: RnsBasis  # Q_max extended by P
+    aux_count: int  # number of special primes (0 => standard keyswitching)
+    label: str = "ksh"
+    _a_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def digits(self) -> int:
+        return len(self.b_polys)
+
+    def a_poly(self, index: int) -> RnsPoly:
+        """The pseudorandom half of digit ``index``, expanded from the seed."""
+        poly = self._a_cache.get(index)
+        if poly is None:
+            poly = seeded_uniform_poly(
+                self.full_basis, self.b_polys[0].degree, self.seed, index
+            )
+            self._a_cache[index] = poly
+        return poly
+
+    def size_words(self, level: int | None = None) -> int:
+        """Residue words a server must *store* for this hint.
+
+        With seeded generation only the b half is stored; without it the a
+        half doubles this (see `repro.analysis.opcounts` for the analytic
+        version used in the paper's Fig. 4 / Sec. 3 discussion).
+        """
+        rows = sum(p.level for p in self.b_polys)
+        return rows * self.b_polys[0].degree
+
+    def restricted_rows(self, index: int, basis: RnsBasis) -> tuple[np.ndarray, np.ndarray]:
+        """(b, a) residue rows of digit ``index`` restricted to ``basis``."""
+        full = self.full_basis.moduli
+        take = [full.index(q) for q in basis.moduli]
+        return (
+            self.b_polys[index].data[take],
+            self.a_poly(index).data[take],
+        )
+
+
+def generate_hint(
+    s_old: RnsPoly,
+    s_new: RnsPoly,
+    q_basis: RnsBasis,
+    aux_basis: RnsBasis | None,
+    alpha: int,
+    rng: np.random.Generator,
+    seed: int,
+    sigma: float = 3.2,
+    label: str = "ksh",
+    error_scale: int = 1,
+) -> KeySwitchHint:
+    """Generate a keyswitch hint for ``s_old -> s_new``.
+
+    ``s_old``/``s_new`` must be EVAL-domain polynomials over Q_max*P (the
+    concatenation of ``q_basis`` and ``aux_basis``).  For boosted
+    keyswitching pass the special basis P; for standard keyswitching pass
+    ``aux_basis=None`` and ``alpha=1``.
+
+    Digit i stores  b_i = -a_i*s_new + e_i + P * (Q/Q_i) * [(Q/Q_i)^-1]_{Q_i} * s_old
+    over Q_max*P (P = 1 for standard keyswitching).
+    """
+    full = q_basis if aux_basis is None else q_basis.extend(aux_basis)
+    if s_old.basis != full or s_new.basis != full:
+        raise ValueError("keys must be expressed over the full basis Q*P")
+    degree = s_old.degree
+    p_product = aux_basis.modulus if aux_basis is not None else 1
+    q_total = q_basis.modulus
+    digits = digit_bases(q_basis, alpha)
+    b_polys = []
+    for i, digit in enumerate(digits):
+        q_i = digit.modulus
+        q_hat = q_total // q_i
+        factor = p_product * q_hat * pow(q_hat % q_i, -1, q_i)
+        a_i = seeded_uniform_poly(full, degree, seed, i)
+        # BGV-style schemes scale the hint error by the plaintext modulus
+        # so keyswitching noise stays a multiple of t (error_scale = t).
+        e_i = error_poly(full, degree, rng, sigma).scalar_mul(error_scale)
+        b_i = e_i - a_i * s_new + s_old.scalar_mul(factor)
+        b_polys.append(b_i)
+    return KeySwitchHint(
+        b_polys=b_polys,
+        seed=seed,
+        alpha=alpha,
+        full_basis=full,
+        aux_count=0 if aux_basis is None else len(aux_basis),
+        label=label,
+    )
+
+
+def _accumulate_digits(
+    poly: RnsPoly, hint: KeySwitchHint, target: RnsBasis
+) -> tuple[RnsPoly, RnsPoly]:
+    """Core of both algorithms: sum_i ModUp([c]_{D_i}) * ksh_i over ``target``.
+
+    ``poly`` must be coefficient-domain over the current basis Q_level.
+    Each digit's residues are raised to ``target`` with the fast base
+    conversion (the CRB kernel) and NTT'd, then multiplied against the
+    hint's (b, a) rows and accumulated - Listing 1 lines 5-6 generalized to
+    t digits.
+    """
+    degree = poly.degree
+    acc0 = RnsPoly.zero(target, degree, EVAL)
+    acc1 = RnsPoly.zero(target, degree, EVAL)
+    level_digits = digit_bases(poly.basis, hint.alpha)
+    offset = 0
+    for i, digit in enumerate(level_digits):
+        rows = poly.data[offset : offset + len(digit)]
+        offset += len(digit)
+        raised = RnsPoly(digit, rows, "coeff").change_basis(target).to_eval()
+        b_rows, a_rows = hint.restricted_rows(i, target)
+        acc0 = acc0 + raised * RnsPoly(target, b_rows, EVAL)
+        acc1 = acc1 + raised * RnsPoly(target, a_rows, EVAL)
+    return acc0, acc1
+
+
+def mod_down(poly: RnsPoly, q_basis: RnsBasis, aux_basis: RnsBasis) -> RnsPoly:
+    """Divide by P: (poly - ModUp([poly]_P)) * P^-1 over ``q_basis``.
+
+    This is Listing 1 lines 7-10: the rounding step that removes the
+    P-expansion after hint application, keeping keyswitch noise small.
+    """
+    n_q = len(q_basis)
+    coeff = poly.to_coeff()
+    q_part = RnsPoly(q_basis, coeff.data[:n_q], "coeff")
+    p_part = RnsPoly(aux_basis, coeff.data[n_q:], "coeff")
+    correction = p_part.change_basis(q_basis)
+    diff = q_part - correction
+    out = np.empty_like(diff.data)
+    p_mod = aux_basis.modulus
+    for i, qi in enumerate(q_basis):
+        inv = pow(p_mod % qi, qi - 2, qi)
+        out[i] = diff.data[i] * np.uint64(inv) % np.uint64(qi)
+    return RnsPoly(q_basis, out, "coeff").to_eval()
+
+
+def boosted_keyswitch(
+    poly: RnsPoly, hint: KeySwitchHint, aux_basis: RnsBasis
+) -> tuple[RnsPoly, RnsPoly]:
+    """Boosted (t-digit) keyswitching of an EVAL-domain polynomial.
+
+    Follows Listing 1: INTT -> per-digit ModUp (changeRNSBase) -> NTT ->
+    hint multiply-accumulate -> ModDown back to the input basis.
+    Returns (ks0, ks1) with ks0 + ks1*s_new ~= poly * s_old.
+    """
+    if hint.aux_count != len(aux_basis):
+        raise ValueError("hint was generated for a different special basis")
+    q_level = poly.basis
+    target = q_level.extend(aux_basis)
+    coeff = poly.to_coeff()
+    acc0, acc1 = _accumulate_digits(coeff, hint, target)
+    ks0 = mod_down(acc0, q_level, aux_basis)
+    ks1 = mod_down(acc1, q_level, aux_basis)
+    return ks0, ks1
+
+
+def standard_keyswitch(
+    poly: RnsPoly, hint: KeySwitchHint
+) -> tuple[RnsPoly, RnsPoly]:
+    """Standard (BV, per-prime digit) keyswitching, as F1 performs it.
+
+    No special basis and no ModDown; every RNS prime is its own digit, so
+    applying the hint costs L^2 NTTs (each digit is base-converted to all L
+    primes) - the scaling wall that motivates the boosted algorithm.
+    """
+    if hint.aux_count != 0:
+        raise ValueError("hint was generated with a special basis; use boosted")
+    q_level = poly.basis
+    coeff = poly.to_coeff()
+    acc0, acc1 = _accumulate_digits(coeff, hint, q_level)
+    return acc0, acc1

@@ -1,0 +1,194 @@
+"""Homomorphic linear transforms (matrix-vector products on slots).
+
+A dense n x n complex matrix applied to the encrypted slot vector is the
+building block of CoeffToSlot/SlotToCoeff in bootstrapping and of the
+matrix-vector multiplies in the LSTM/HELR/LoLa benchmarks.  The standard
+diagonal (Halevi-Shoup) method is used with baby-step/giant-step (BSGS)
+rotation batching:
+
+    M v = sum_d diag_d(M) . rot_d(v)
+        = sum_g rot_{g*n1}( sum_b rot_{-g*n1}(diag_{g*n1+b}) . rot_b(v) )
+
+which needs ~2*sqrt(D) rotations for D nonzero diagonals instead of D.
+Rotation hints are declared up front (``required_rotations``) so callers -
+like the paper's compiler - can generate, reuse and account for each hint.
+
+Real-linear maps (those involving conjugation, which CoeffToSlot needs) are
+expressed as z -> A z + B conj(z); :func:`holomorphic_parts` recovers A and
+B from any numpy-implemented real-linear function by probing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext, CkksContext
+from repro.fhe.keyswitch import KeySwitchHint
+from repro.fhe.polyeval import add_any
+
+
+def holomorphic_parts(fn, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Matrices (A, B) with fn(z) = A z + B conj(z) for real-linear fn.
+
+    Probes fn column by column with e_j and i*e_j.  Any real-linear map on
+    C^n decomposes uniquely this way; homomorphically, the B part is applied
+    to the conjugated ciphertext.
+    """
+    out_dim = len(fn(np.zeros(n, dtype=np.complex128) + 0j))
+    a = np.empty((out_dim, n), dtype=np.complex128)
+    b = np.empty((out_dim, n), dtype=np.complex128)
+    for j in range(n):
+        e = np.zeros(n, dtype=np.complex128)
+        e[j] = 1.0
+        f_real = fn(e)
+        e[j] = 1.0j
+        f_imag = fn(e)
+        a[:, j] = (f_real - 1j * f_imag) / 2
+        b[:, j] = (f_real + 1j * f_imag) / 2
+    return a, b
+
+
+class LinearTransform:
+    """BSGS evaluation of a (square, slot-sized) matrix on a ciphertext.
+
+    ``matrix`` must be n x n where n is the context's slot count.  Zero
+    diagonals are skipped, so structured matrices (tridiagonal, butterfly
+    stages of the FFT decomposition, convolution-style banded matrices) cost
+    proportionally less - the same sparsity the paper's bootstrapping
+    decomposition exploits.
+    """
+
+    def __init__(self, ctx: CkksContext, matrix: np.ndarray,
+                 tol: float = 1e-12, baby_steps: int | None = None):
+        n = ctx.params.slots
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (n, n):
+            raise ValueError(f"matrix must be {n}x{n} (full slot count)")
+        self.ctx = ctx
+        self.n = n
+        idx = np.arange(n)
+        self.diagonals: dict[int, np.ndarray] = {}
+        for d in range(n):
+            diag = matrix[idx, (idx + d) % n]
+            if np.max(np.abs(diag)) > tol:
+                self.diagonals[d] = diag
+        if not self.diagonals:
+            raise ValueError("matrix is numerically zero")
+        if baby_steps is None:
+            # Power of two near sqrt(D) balances baby/giant rotation counts.
+            d_count = len(self.diagonals)
+            baby_steps = max(
+                1, 1 << int(round(np.log2(max(1.0, np.sqrt(d_count)))))
+            )
+        elif baby_steps < 1 or baby_steps & (baby_steps - 1):
+            raise ValueError("baby_steps must be a power of two")
+        # Noise note: baby-step rotations happen *before* the diagonal
+        # multiplication, so their keyswitch noise is attenuated by the
+        # (typically small) matrix entries; giant-step rotations act on the
+        # accumulated sums at full weight.  Noise-critical callers
+        # (CoeffToSlot in bootstrapping) therefore pass a large baby_steps.
+        self.n1 = baby_steps
+        self.groups: dict[int, list[int]] = {}
+        for d in self.diagonals:
+            self.groups.setdefault(d // self.n1 * self.n1, []).append(d)
+
+    def required_rotations(self) -> set[int]:
+        """Rotation steps whose hints :meth:`apply` will need."""
+        steps = {d % self.n1 for d in self.diagonals}
+        steps |= set(self.groups)
+        steps.discard(0)
+        return steps
+
+    def rotation_count(self) -> int:
+        """Number of keyswitches one application performs (for cost checks)."""
+        babies = {d % self.n1 for d in self.diagonals} - {0}
+        giants = set(self.groups) - {0}
+        return len(babies) + len(giants)
+
+    def apply(
+        self,
+        ct: Ciphertext,
+        rotation_hints: dict[int, KeySwitchHint],
+        result_scale: float | None = None,
+    ) -> Ciphertext:
+        """Homomorphically compute matrix @ slots(ct); costs one level."""
+        ctx = self.ctx
+        if result_scale is None:
+            result_scale = ct.scale
+        rotated: dict[int, Ciphertext] = {0: ct}
+        for b in sorted({d % self.n1 for d in self.diagonals}):
+            if b not in rotated:
+                rotated[b] = ctx.rotate(ct, b, rotation_hints[b])
+        total = None
+        for g, dlist in sorted(self.groups.items()):
+            inner = None
+            for d in sorted(dlist):
+                diag = np.roll(self.diagonals[d], g)
+                term = ctx.pmult(rotated[d % self.n1], diag, result_scale)
+                inner = add_any(ctx, inner, term)
+            if g:
+                inner = ctx.rotate(inner, g, rotation_hints[g])
+            total = add_any(ctx, total, inner)
+        return total
+
+
+class RealLinearTransform:
+    """z -> A z + B conj(z): a conjugation-aware pair of LinearTransforms.
+
+    This is the exact shape of the CoeffToSlot and SlotToCoeff maps: they
+    are real-linear but not complex-linear, so one branch runs on the
+    conjugated ciphertext (one extra keyswitch, as the paper's bootstrap
+    op counts include).
+    """
+
+    def __init__(self, ctx: CkksContext, fn_or_parts, tol: float = 1e-12,
+                 baby_steps: int | None = None):
+        if callable(fn_or_parts):
+            a, b = holomorphic_parts(fn_or_parts, ctx.params.slots)
+        else:
+            a, b = fn_or_parts
+        self.ctx = ctx
+        self.a_part = (
+            None if _is_zero(a, tol) else LinearTransform(ctx, a, tol, baby_steps)
+        )
+        self.b_part = (
+            None if _is_zero(b, tol) else LinearTransform(ctx, b, tol, baby_steps)
+        )
+        if self.a_part is None and self.b_part is None:
+            raise ValueError("transform is numerically zero")
+
+    def required_rotations(self) -> set[int]:
+        steps = set()
+        for part in (self.a_part, self.b_part):
+            if part is not None:
+                steps |= part.required_rotations()
+        return steps
+
+    def needs_conjugation(self) -> bool:
+        return self.b_part is not None
+
+    def apply(
+        self,
+        ct: Ciphertext,
+        rotation_hints: dict[int, KeySwitchHint],
+        conj_hint: KeySwitchHint | None = None,
+        result_scale: float | None = None,
+    ) -> Ciphertext:
+        ctx = self.ctx
+        if result_scale is None:
+            result_scale = ct.scale
+        total = None
+        if self.a_part is not None:
+            total = self.a_part.apply(ct, rotation_hints, result_scale)
+        if self.b_part is not None:
+            if conj_hint is None:
+                raise ValueError("transform needs a conjugation hint")
+            conj_ct = ctx.conjugate(ct, conj_hint)
+            total = add_any(
+                ctx, total, self.b_part.apply(conj_ct, rotation_hints, result_scale)
+            )
+        return total
+
+
+def _is_zero(matrix: np.ndarray, tol: float) -> bool:
+    return bool(np.max(np.abs(matrix)) <= tol)

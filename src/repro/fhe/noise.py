@@ -1,0 +1,102 @@
+"""Noise-budget estimation: the bookkeeping behind Fig. 2.
+
+CKKS noise is what bounds multiplicative depth: every operation adds or
+amplifies error, rescaling trades modulus for noise headroom, and when the
+chain is exhausted only bootstrapping restores budget.  This module
+provides
+
+* :func:`measure_noise_bits` - the *ground truth*: given the secret key,
+  the actual integer-domain error of a ciphertext relative to a reference
+  plaintext (what a library developer uses to validate parameters);
+* :class:`NoiseBudget` - a static estimator tracking worst-case noise bits
+  through a computation, in the style of library parameter planners.  The
+  simulator does not need it (levels are tracked structurally), but users
+  sizing their own programs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2, sqrt
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext, CkksContext, SecretKey
+
+
+def measure_noise_bits(ctx: CkksContext, sk: SecretKey, ct: Ciphertext,
+                       reference) -> float:
+    """log2 of the max integer-domain error vs the expected slot values."""
+    expected = ctx.encode(np.asarray(reference), level=ct.level,
+                          scale=ct.scale)
+    actual = ctx.decrypt_poly(sk, ct)
+    diff = actual - expected.poly.to_coeff()
+    mags = np.array([abs(int(v)) for v in diff.to_integers()], dtype=float)
+    return float(log2(mags.max() + 1))
+
+
+def budget_bits(ct: Ciphertext) -> float:
+    """Remaining headroom: log2(Q) - log2(scale) for the live basis."""
+    return ct.basis.log_modulus - log2(ct.scale)
+
+
+@dataclass
+class NoiseBudget:
+    """Worst-case noise tracker for parameter planning (Fig. 2's curve).
+
+    Tracks the estimated error magnitude (in bits, integer domain) and the
+    live modulus; ``headroom`` hitting zero means decryption failure - the
+    moment bootstrapping becomes mandatory.
+    """
+
+    degree: int
+    modulus_bits_per_level: int
+    levels: int
+    sigma: float = 3.2
+    noise_bits: float = 0.0
+
+    def __post_init__(self):
+        if self.noise_bits == 0.0:
+            # Fresh encryption noise ~ sigma * sqrt(N)-ish.
+            self.noise_bits = log2(8 * self.sigma * sqrt(self.degree))
+
+    @property
+    def log_q(self) -> float:
+        return self.levels * self.modulus_bits_per_level
+
+    @property
+    def headroom_bits(self) -> float:
+        return max(0.0, self.log_q - self.noise_bits)
+
+    def multiply(self, scale_bits: float | None = None) -> "NoiseBudget":
+        """ct x ct multiply + rescale: noise grows by ~scale_bits' worth of
+        message energy, then one level is spent."""
+        scale_bits = scale_bits or self.modulus_bits_per_level
+        if self.levels <= 1:
+            raise ValueError("budget exhausted: bootstrap required")
+        # Multiplication roughly doubles relative error and rescale trims
+        # modulus; worst case noise after rescale ~ old + keyswitch floor.
+        self.noise_bits = max(self.noise_bits + 1,
+                              log2(sqrt(self.degree) * self.sigma * 8))
+        self.levels -= 1
+        return self
+
+    def rotate(self) -> "NoiseBudget":
+        """Rotation: additive keyswitch noise, no level spent."""
+        ks = log2(sqrt(self.degree) * self.sigma * 8)
+        self.noise_bits = max(self.noise_bits, ks) + 0.1
+        return self
+
+    def depth_capacity(self) -> int:
+        """How many more multiplies fit before exhaustion."""
+        return max(0, self.levels - 1)
+
+    def trace(self, multiplies: int) -> list[float]:
+        """Fig. 2-style budget-over-time series for ``multiplies`` ops."""
+        out = [self.headroom_bits]
+        for _ in range(multiplies):
+            if self.levels <= 1:
+                break
+            self.multiply()
+            out.append(self.headroom_bits)
+        return out

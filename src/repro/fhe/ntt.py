@@ -1,0 +1,150 @@
+"""Negacyclic number-theoretic transform (NTT).
+
+The NTT is the workhorse of RNS-CKKS: in the NTT (evaluation) domain,
+multiplication in Z_q[x]/(x^N + 1) is element-wise.  CraterLake devotes two
+of its largest functional units to it; here we implement the same transform
+in vectorized numpy as part of the functional substrate.
+
+We use the standard merged-twiddle formulation (Longa & Naehrig):
+the powers of the 2N-th root psi are folded into the butterflies, so the
+forward transform maps coefficients directly to evaluations of the
+*negacyclic* ring without a separate pre-multiplication pass.  Forward uses
+Cooley-Tukey butterflies (natural -> bit-reversed order); inverse uses
+Gentleman-Sande (bit-reversed -> natural).
+
+All arithmetic stays in uint64: moduli are at most 30 bits in this library,
+so butterfly products are < 2^60 and never overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.primes import root_of_unity
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation reversing log2(n)-bit indices."""
+    if n & (n - 1):
+        raise ValueError("n must be a power of two")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+class NttContext:
+    """Precomputed tables for the negacyclic NTT modulo one prime.
+
+    Instances are cached per (modulus, degree) pair via :meth:`get`; every
+    RnsPoly transform reuses them, mirroring how the hardware NTT unit's
+    twiddle ROMs are shared by all residue polynomials of one modulus.
+    """
+
+    _cache: dict[tuple[int, int], "NttContext"] = {}
+
+    def __init__(self, modulus: int, degree: int):
+        if degree & (degree - 1):
+            raise ValueError("degree must be a power of two")
+        if modulus >= 1 << 31:
+            raise ValueError("modulus must fit in 31 bits to avoid overflow")
+        self.modulus = modulus
+        self.degree = degree
+        psi = root_of_unity(modulus, 2 * degree)
+        psi_inv = pow(psi, modulus - 2, modulus)
+        rev = bit_reverse_permutation(degree)
+        powers = np.empty(degree, dtype=np.uint64)
+        powers_inv = np.empty(degree, dtype=np.uint64)
+        acc = 1
+        acc_inv = 1
+        for i in range(degree):
+            powers[i] = acc
+            powers_inv[i] = acc_inv
+            acc = acc * psi % modulus
+            acc_inv = acc_inv * psi_inv % modulus
+        # Twiddles indexed in bit-reversed order, as consumed stage by stage.
+        self.psi_bitrev = powers[rev]
+        self.psi_inv_bitrev = powers_inv[rev]
+        self.n_inv = pow(degree, modulus - 2, modulus)
+
+    @classmethod
+    def get(cls, modulus: int, degree: int) -> "NttContext":
+        key = (modulus, degree)
+        ctx = cls._cache.get(key)
+        if ctx is None:
+            ctx = cls(modulus, degree)
+            cls._cache[key] = ctx
+        return ctx
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT: coefficient order in, bit-reversed evaluations out.
+
+        Accepts shape (..., N); transforms the last axis.
+        """
+        q = np.uint64(self.modulus)
+        n = self.degree
+        a = np.array(coeffs, dtype=np.uint64, copy=True)
+        lead = a.shape[:-1]
+        a = a.reshape(-1, n)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            s = self.psi_bitrev[m : 2 * m]  # one twiddle per butterfly group
+            blocks = a.reshape(-1, m, 2 * t)
+            u = blocks[:, :, :t]
+            v = blocks[:, :, t:] * s[None, :, None] % q
+            blocks[:, :, t:] = (u + q - v) % q
+            blocks[:, :, :t] = (u + v) % q
+            m *= 2
+        return a.reshape(*lead, n)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT: bit-reversed evaluations in, coeffs out."""
+        q = np.uint64(self.modulus)
+        n = self.degree
+        a = np.array(values, dtype=np.uint64, copy=True)
+        lead = a.shape[:-1]
+        a = a.reshape(-1, n)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            s = self.psi_inv_bitrev[h : 2 * h]
+            blocks = a.reshape(-1, h, 2 * t)
+            u = blocks[:, :, :t].copy()
+            v = blocks[:, :, t:]
+            blocks[:, :, :t] = (u + v) % q
+            blocks[:, :, t:] = (u + q - v) % q * s[None, :, None] % q
+            t *= 2
+            m = h
+        a = a * np.uint64(self.n_inv) % q
+        return a.reshape(*lead, n)
+
+    def negacyclic_convolution(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Reference product in Z_q[x]/(x^N+1) computed through the NTT."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % np.uint64(self.modulus))
+
+
+def naive_negacyclic_convolution(a, b, modulus: int) -> np.ndarray:
+    """O(N^2) schoolbook product in Z_q[x]/(x^N+1); test oracle for the NTT."""
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = a.shape[0]
+    out = [0] * n
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            prod = ai * int(b[j])
+            if k < n:
+                out[k] = (out[k] + prod) % modulus
+            else:
+                out[k - n] = (out[k - n] - prod) % modulus
+    return np.array(out, dtype=np.uint64)

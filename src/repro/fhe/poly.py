@@ -1,0 +1,225 @@
+"""RNS polynomials: the data type every FHE operation manipulates.
+
+An :class:`RnsPoly` is a residue matrix of shape (L, N): L residue
+polynomials of degree < N, one per modulus of its basis, in either the
+coefficient domain or the NTT (evaluation) domain.  This is exactly the
+granularity at which CraterLake's vector FUs operate - one residue
+polynomial streams through a functional unit in N/E cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.ntt import NttContext
+from repro.fhe.rns import RnsBasis
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+class RnsPoly:
+    """A polynomial in Z_Q[x]/(x^N + 1) stored in RNS form."""
+
+    __slots__ = ("basis", "data", "domain")
+
+    def __init__(self, basis: RnsBasis, data: np.ndarray, domain: str = COEFF):
+        data = np.asarray(data, dtype=np.uint64)
+        if data.ndim != 2 or data.shape[0] != len(basis):
+            raise ValueError(
+                f"data shape {data.shape} does not match basis of size {len(basis)}"
+            )
+        if domain not in (COEFF, EVAL):
+            raise ValueError(f"unknown domain {domain!r}")
+        self.basis = basis
+        self.data = data
+        self.domain = domain
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis, degree: int, domain: str = COEFF) -> "RnsPoly":
+        return cls(basis, np.zeros((len(basis), degree), dtype=np.uint64), domain)
+
+    @classmethod
+    def from_integers(cls, basis: RnsBasis, coeffs, domain: str = COEFF) -> "RnsPoly":
+        """Build from signed big-int coefficients (coefficient-domain input)."""
+        poly = cls(basis, basis.to_residues(coeffs), COEFF)
+        return poly.to_eval() if domain == EVAL else poly
+
+    @classmethod
+    def uniform_random(
+        cls, basis: RnsBasis, degree: int, rng: np.random.Generator,
+        domain: str = EVAL,
+    ) -> "RnsPoly":
+        """Uniformly random element of R_Q.
+
+        Sampled directly per-residue: choosing each residue uniformly is
+        equivalent, by CRT, to sampling the wide coefficient uniformly.
+        Sampling in the EVAL domain is also uniform because the NTT is a
+        bijection; this is what seeded keyswitch-hint expansion does.
+        """
+        rows = [
+            rng.integers(0, q, size=degree, dtype=np.uint64) for q in basis
+        ]
+        return cls(basis, np.stack(rows), domain)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def level(self) -> int:
+        """Number of residue polynomials L (the paper's multiplicative budget)."""
+        return self.data.shape[0]
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.basis, self.data.copy(), self.domain)
+
+    def __repr__(self) -> str:
+        return f"RnsPoly(N={self.degree}, L={self.level}, domain={self.domain})"
+
+    def _check_compatible(self, other: "RnsPoly") -> None:
+        if self.basis != other.basis:
+            raise ValueError("operands live in different RNS bases")
+        if self.domain != other.domain:
+            raise ValueError(
+                f"domain mismatch: {self.domain} vs {other.domain}"
+            )
+        if self.degree != other.degree:
+            raise ValueError("degree mismatch")
+
+    # -- domain conversion ------------------------------------------------
+
+    def to_eval(self) -> "RnsPoly":
+        if self.domain == EVAL:
+            return self
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis):
+            out[i] = NttContext.get(q, self.degree).forward(self.data[i])
+        return RnsPoly(self.basis, out, EVAL)
+
+    def to_coeff(self) -> "RnsPoly":
+        if self.domain == COEFF:
+            return self
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis):
+            out[i] = NttContext.get(q, self.degree).inverse(self.data[i])
+        return RnsPoly(self.basis, out, COEFF)
+
+    # -- ring arithmetic ---------------------------------------------------
+
+    def _moduli_column(self) -> np.ndarray:
+        return np.array(self.basis.moduli, dtype=np.uint64)[:, None]
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        q = self._moduli_column()
+        return RnsPoly(self.basis, (self.data + other.data) % q, self.domain)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        q = self._moduli_column()
+        return RnsPoly(self.basis, (self.data + q - other.data) % q, self.domain)
+
+    def __neg__(self) -> "RnsPoly":
+        q = self._moduli_column()
+        return RnsPoly(self.basis, (q - self.data) % q, self.domain)
+
+    def __mul__(self, other) -> "RnsPoly":
+        if isinstance(other, RnsPoly):
+            self._check_compatible(other)
+            if self.domain != EVAL:
+                raise ValueError(
+                    "polynomial products require the EVAL domain; call to_eval()"
+                )
+            q = self._moduli_column()
+            return RnsPoly(self.basis, self.data * other.data % q, EVAL)
+        return self.scalar_mul(int(other))
+
+    def scalar_mul(self, scalar: int) -> "RnsPoly":
+        """Multiply by an integer constant (applied per residue)."""
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis):
+            out[i] = self.data[i] * np.uint64(scalar % q) % np.uint64(q)
+        return RnsPoly(self.basis, out, self.domain)
+
+    # -- structure operations ----------------------------------------------
+
+    def automorphism(self, k: int) -> "RnsPoly":
+        """Apply x -> x^k (k odd), the ring operation behind rotations.
+
+        Coefficient i maps to index i*k mod 2N with a sign flip when the
+        product wraps past N.  Implemented in the coefficient domain; the
+        hardware performs an equivalent permutation with its automorphism
+        unit plus two transposes.
+        """
+        n = self.degree
+        if k % 2 == 0:
+            raise ValueError("automorphism exponent must be odd")
+        k %= 2 * n
+        was_eval = self.domain == EVAL
+        poly = self.to_coeff() if was_eval else self
+        idx = np.arange(n, dtype=np.int64) * k % (2 * n)
+        sign_flip = idx >= n
+        dest = np.where(sign_flip, idx - n, idx)
+        out = np.zeros_like(poly.data)
+        q = poly._moduli_column()
+        out[:, dest] = np.where(sign_flip[None, :], (q - poly.data) % q, poly.data)
+        # x^0 never flips; (q - 0) % q is 0 so the formula is safe for zeros.
+        result = RnsPoly(poly.basis, out, COEFF)
+        return result.to_eval() if was_eval else result
+
+    def drop_last_modulus(self) -> "RnsPoly":
+        """Forget the last residue row (used when operands must align)."""
+        return RnsPoly(self.basis.drop_last(), self.data[:-1], self.domain)
+
+    def rescale(self) -> "RnsPoly":
+        """Divide by the last modulus q_l, rounding: the CKKS rescale.
+
+        Computes (x - [x]_{q_l}) / q_l over the remaining basis.  Requires
+        the coefficient-domain residues of the last row, so callers in the
+        EVAL domain pay one INTT + (L-1) NTTs, as the hardware does.
+        """
+        if self.level < 2:
+            raise ValueError("cannot rescale a level-1 polynomial")
+        was_eval = self.domain == EVAL
+        poly = self.to_coeff() if was_eval else self
+        q_last = poly.basis.moduli[-1]
+        last_row = poly.data[-1]
+        new_basis = poly.basis.drop_last()
+        out = np.empty((len(new_basis), poly.degree), dtype=np.uint64)
+        # Centered correction keeps the rounding error at most 1/2.
+        centered = last_row.astype(np.int64) - np.int64(q_last) * (
+            last_row > np.uint64(q_last // 2)
+        )
+        for i, qi in enumerate(new_basis):
+            qi64 = np.uint64(qi)
+            inv = np.uint64(pow(q_last % qi, qi - 2, qi))
+            corr = np.mod(centered, qi).astype(np.uint64)
+            out[i] = (poly.data[i] + qi64 - corr) % qi64 * inv % qi64
+        result = RnsPoly(new_basis, out, COEFF)
+        return result.to_eval() if was_eval else result
+
+    def change_basis(self, dest: RnsBasis, exact: bool = False) -> "RnsPoly":
+        """changeRNSBase: re-express this polynomial in another basis.
+
+        ``exact=False`` uses the fast conversion (Listing 1 / the CRB unit),
+        which may add a small multiple of Q; ``exact=True`` uses big-int CRT.
+        Operates on coefficient-domain data, as Listing 1 does (INTT before,
+        NTT after).
+        """
+        was_eval = self.domain == EVAL
+        poly = self.to_coeff() if was_eval else self
+        if exact:
+            data = poly.basis.convert_exact(poly.data, dest)
+        else:
+            data = poly.basis.convert_approx(poly.data, dest)
+        result = RnsPoly(dest, data, COEFF)
+        return result.to_eval() if was_eval else result
+
+    def to_integers(self) -> np.ndarray:
+        """Centered big-int coefficients (coefficient domain)."""
+        return self.basis.to_integers(self.to_coeff().data, centered=True)

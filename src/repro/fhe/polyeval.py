@@ -1,0 +1,176 @@
+"""Homomorphic polynomial evaluation (Paterson-Stockmeyer).
+
+FHE has no nonlinear operations, so activation functions (Sec. 2.1) and the
+modular reduction inside bootstrapping are replaced by polynomials.  Naive
+Horner evaluation of a degree-d polynomial burns d levels; the
+Paterson-Stockmeyer scheme used here is the sum form
+
+    P(x) = sum_j chunk_j(x) * x^(j*k),        k ~ sqrt(d)
+
+with baby powers x^1..x^k and giant powers x^(j*k) built by a product
+ladder, giving ~log2(d) multiplicative depth and ~2*sqrt(d) ciphertext
+multiplications - the op-count shape the workload generators also assume.
+
+Scale discipline: chunk coefficients are encoded at exactly the scale that
+makes every term of the sum land on one common target scale, so additions
+never mix mismatched scales even though 28-bit moduli are inexact powers of
+two.  This mirrors the plaintext-operand bookkeeping the paper's compiler
+performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext, CkksContext
+from repro.fhe.keyswitch import KeySwitchHint
+
+
+def align_levels(ctx: CkksContext, a: Ciphertext, b: Ciphertext):
+    """Bring two ciphertexts to a common (minimum) level for addition."""
+    level = min(a.level, b.level)
+    return ctx.drop_to_level(a, level), ctx.drop_to_level(b, level)
+
+
+def add_any(ctx: CkksContext, a: Ciphertext | None, b: Ciphertext | None):
+    """Add, tolerating None (empty accumulator) and level mismatches."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    a, b = align_levels(ctx, a, b)
+    return ctx.add(a, b)
+
+
+def mul_rescale(ctx: CkksContext, a: Ciphertext, b: Ciphertext,
+                relin: KeySwitchHint) -> Ciphertext:
+    """Level-aligned ciphertext multiply followed by a rescale."""
+    a, b = align_levels(ctx, a, b)
+    return ctx.rescale(ctx.multiply(a, b, relin))
+
+
+def power_ladder(
+    ctx: CkksContext, ct: Ciphertext, k: int, relin: KeySwitchHint
+) -> dict[int, Ciphertext]:
+    """All powers x^1..x^k, each built from two smaller powers (+rescale)."""
+    powers: dict[int, Ciphertext] = {1: ct}
+    for i in range(2, k + 1):
+        lo, hi = i // 2, i - i // 2
+        a, b = align_levels(ctx, powers[lo], powers[hi])
+        powers[i] = ctx.rescale(
+            ctx.square(a, relin) if lo == hi else ctx.multiply(a, b, relin)
+        )
+    return powers
+
+
+def _giant_ladder(
+    ctx: CkksContext, base: Ciphertext, count: int, relin: KeySwitchHint
+) -> dict[int, Ciphertext]:
+    """giants[j] = base^j for j in 1..count, built pairwise (log depth)."""
+    giants: dict[int, Ciphertext] = {1: base}
+    for j in range(2, count + 1):
+        lo, hi = j // 2, j - j // 2
+        a, b = align_levels(ctx, giants[lo], giants[hi])
+        giants[j] = ctx.rescale(
+            ctx.square(a, relin) if lo == hi else ctx.multiply(a, b, relin)
+        )
+    return giants
+
+
+def evaluate_polynomial(
+    ctx: CkksContext,
+    ct: Ciphertext,
+    coeffs,
+    relin: KeySwitchHint,
+) -> Ciphertext:
+    """Evaluate sum_i coeffs[i] * x^i at the encrypted x (complex coeffs ok).
+
+    Result lands ~log2(d)+2 levels below the input, at the input's scale.
+    """
+    coeffs = [complex(c) for c in coeffs]
+    degree = len(coeffs) - 1
+    while degree > 0 and coeffs[degree] == 0:
+        degree -= 1
+    if degree == 0:
+        raise ValueError("constant polynomial: nothing to evaluate")
+    if degree == 1:
+        out = ctx.pmult(ct, [coeffs[1]])
+        return ctx.add_scalar(out, coeffs[0]) if coeffs[0] else out
+
+    target = ct.scale
+    k = 1 << int(np.ceil(np.log2(np.sqrt(degree + 1))))
+    n_chunks = -(-(degree + 1) // k)
+    powers = power_ladder(ctx, ct, min(k, degree), relin)
+    giants = (
+        _giant_ladder(ctx, powers[k], n_chunks - 1, relin)
+        if n_chunks > 1
+        else {}
+    )
+    # Every chunk is evaluated one level below its deepest baby power; pin
+    # that level so the per-chunk encoding scale below is exact.
+    chunk_level = min(p.level for p in powers.values()) - 1
+
+    def chunk_eval(lo: int, chunk_scale: float):
+        """coeffs[lo+1 : lo+k] * x^(1..k-1), every term at chunk_scale."""
+        acc = None
+        for j in range(1, k):
+            idx = lo + j
+            if idx > degree or coeffs[idx] == 0:
+                continue
+            term = ctx.pmult(powers[j], [coeffs[idx]], chunk_scale)
+            acc = add_any(ctx, acc, term)
+        if acc is not None:
+            acc = ctx.drop_to_level(acc, min(acc.level, chunk_level))
+        constant = coeffs[lo] if lo <= degree else 0
+        return acc, constant
+
+    result = None
+    for j in range(n_chunks):
+        if j == 0:
+            term, constant = chunk_eval(0, target)
+            if constant:
+                term = (
+                    ctx.add_scalar(term, constant)
+                    if term is not None
+                    # Degenerate chunk: constant alone; realized through the
+                    # first giant (present because degree >= k here).
+                    else ctx.add_scalar(ctx.pmult(giants[1], [0.0], target), constant)
+                )
+        else:
+            giant = giants[j]
+            aligned_level = min(chunk_level, giant.level)
+            q_mul = float(ctx.basis_at(aligned_level).moduli[-1])
+            chunk_scale = target * q_mul / giant.scale
+            acc, constant = chunk_eval(j * k, chunk_scale)
+            if constant:
+                acc = (
+                    ctx.add_scalar(acc, constant)
+                    if acc is not None
+                    else None
+                )
+            if acc is None:
+                if not constant:
+                    continue
+                term = ctx.pmult(giant, [constant], target)
+            else:
+                acc = ctx.drop_to_level(acc, aligned_level)
+                term = mul_rescale(ctx, acc, giant, relin)
+                term.scale = target  # exact by construction; pin float ulps
+        result = add_any(ctx, result, term)
+    return result
+
+
+def evaluate_chebyshev(
+    ctx: CkksContext,
+    ct: Ciphertext,
+    cheb_coeffs,
+    relin: KeySwitchHint,
+) -> Ciphertext:
+    """Evaluate a Chebyshev-basis polynomial sum_i c_i T_i(x), |x| <= 1.
+
+    Converts to the monomial basis (fine for the modest degrees used here)
+    and reuses :func:`evaluate_polynomial`.  Chebyshev fits are what the
+    bootstrapping EvalMod step and the paper's ReLU approximations use.
+    """
+    mono = np.polynomial.chebyshev.cheb2poly(np.asarray(cheb_coeffs))
+    return evaluate_polynomial(ctx, ct, mono, relin)

@@ -1,0 +1,127 @@
+"""NTT-friendly prime generation.
+
+CraterLake stores every ciphertext polynomial in the residue number system
+(RNS), so the wide ciphertext modulus Q is a product of narrow primes.  The
+hardware fixes the residue width to 28 bits (Sec. 5.5): narrower residues
+would not leave enough NTT-friendly primes for the 2*Lmax = 120 moduli that
+deep benchmarks need.  A prime q is NTT-friendly for ring degree N when
+q = 1 (mod 2N), which guarantees a primitive 2N-th root of unity mod q and
+therefore a negacyclic NTT over Z_q[x]/(x^N + 1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+# Deterministic Miller-Rabin witness set, valid for all n < 3.3 * 10^24,
+# which covers every modulus this library can represent (< 2^64).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test for n < 3.3e24 (Miller-Rabin)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_primes(count: int, bits: int, ring_degree: int) -> list[int]:
+    """Return ``count`` distinct primes q = 1 (mod 2N), each just below 2**bits.
+
+    Primes are returned in decreasing order starting from the largest
+    candidate below ``2**bits``.  Keeping all moduli close to the same power
+    of two keeps the CKKS rescaling error small (each rescale divides the
+    scale by one modulus, so moduli should approximate the scale).
+
+    Raises ``ValueError`` if the congruence class is too sparse to supply
+    ``count`` primes of the requested width, mirroring the paper's
+    observation that 28 bits is the narrowest width with enough primes for
+    2*Lmax = 120 moduli at N = 64K.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if ring_degree & (ring_degree - 1):
+        raise ValueError("ring_degree must be a power of two")
+    if bits < 8 or bits > 62:
+        raise ValueError("bits must be in [8, 62]")
+    step = 2 * ring_degree
+    if (1 << bits) <= step:
+        raise ValueError("2**bits must exceed 2N to admit q = 1 mod 2N")
+    primes: list[int] = []
+    # Largest value < 2**bits congruent to 1 mod 2N.
+    candidate = ((1 << bits) - 2) // step * step + 1
+    floor = 1 << (bits - 1)
+    while len(primes) < count and candidate > floor:
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate -= step
+    if len(primes) < count:
+        raise ValueError(
+            f"only {len(primes)} NTT-friendly {bits}-bit primes exist for "
+            f"N={ring_degree}; {count} requested"
+        )
+    return primes
+
+
+@lru_cache(maxsize=None)
+def _factorize(n: int) -> tuple[int, ...]:
+    """Distinct prime factors of n (trial division; n - 1 of a 28-bit prime)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return tuple(factors)
+
+
+def primitive_root(q: int) -> int:
+    """Smallest generator of the multiplicative group of Z_q (q prime)."""
+    order = q - 1
+    factors = _factorize(order)
+    g = 2
+    while True:
+        if all(pow(g, order // f, q) != 1 for f in factors):
+            return g
+        g += 1
+
+
+@lru_cache(maxsize=None)
+def root_of_unity(q: int, order: int) -> int:
+    """A primitive ``order``-th root of unity modulo prime q.
+
+    Requires order | q - 1.  For the negacyclic NTT we use order = 2N, whose
+    existence is exactly the NTT-friendliness condition.
+    """
+    if (q - 1) % order != 0:
+        raise ValueError(f"{order} does not divide q - 1 = {q - 1}")
+    g = primitive_root(q)
+    root = pow(g, (q - 1) // order, q)
+    # Sanity: root must have exact multiplicative order ``order``.
+    if order % 2 == 0 and pow(root, order // 2, q) == 1:
+        raise ArithmeticError("root has smaller order than requested")
+    return root

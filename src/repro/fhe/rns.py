@@ -1,0 +1,182 @@
+"""Residue number system (RNS) bases and base conversion.
+
+A ciphertext modulus Q = q_1 * ... * q_L is represented by the tuple of
+28-bit primes; a wide coefficient x mod Q is stored as its residues
+(x mod q_1, ..., x mod q_L).  The key kernel of boosted keyswitching is
+``changeRNSBase`` (Listing 1 of the paper): re-expressing residues in a
+different basis using only multiply-accumulate operations.  CraterLake's CRB
+unit spatially unrolls exactly the loop nest implemented here.
+
+Two conversions are provided:
+
+* :meth:`RnsBasis.convert_approx` - the fast (HPS-style) floating-point-free
+  conversion used inside keyswitching.  It computes
+  ``y_j = sum_i [x_i * (Q/q_i)^{-1}]_{q_i} * (Q/q_i) mod p_j`` which equals
+  ``x + a*Q (mod p_j)`` for a small integer ``a < L``.  The extra multiple of
+  Q is absorbed by CKKS noise, exactly as in HEAAN/Lattigo/SEAL.
+* :meth:`RnsBasis.convert_exact` - CRT reconstruction through Python big
+  integers; used by the encoder, decryption and tests.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+
+class RnsBasis:
+    """An ordered tuple of coprime NTT-friendly moduli."""
+
+    def __init__(self, moduli):
+        moduli = tuple(int(q) for q in moduli)
+        if not moduli:
+            raise ValueError("an RNS basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("moduli must be distinct")
+        self.moduli = moduli
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __getitem__(self, idx):
+        got = self.moduli[idx]
+        return RnsBasis(got) if isinstance(idx, slice) else got
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RnsBasis) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(self.moduli)
+
+    def __repr__(self) -> str:
+        return f"RnsBasis(L={len(self)}, log_q={self.log_modulus:.1f})"
+
+    @cached_property
+    def modulus(self) -> int:
+        """The wide modulus Q as a Python integer."""
+        q = 1
+        for qi in self.moduli:
+            q *= qi
+        return q
+
+    @cached_property
+    def log_modulus(self) -> float:
+        """log2(Q); the quantity that, with N, determines security."""
+        return float(sum(np.log2(q) for q in self.moduli))
+
+    @cached_property
+    def _q_hats(self) -> tuple[int, ...]:
+        """Q / q_i for each i (big integers)."""
+        q = self.modulus
+        return tuple(q // qi for qi in self.moduli)
+
+    @cached_property
+    def _q_hat_invs(self) -> tuple[int, ...]:
+        """(Q / q_i)^{-1} mod q_i for each i."""
+        return tuple(
+            pow(h % qi, qi - 2, qi) for h, qi in zip(self._q_hats, self.moduli)
+        )
+
+    def extend(self, other: "RnsBasis") -> "RnsBasis":
+        overlap = set(self.moduli) & set(other.moduli)
+        if overlap:
+            raise ValueError(f"bases share moduli {sorted(overlap)}")
+        return RnsBasis(self.moduli + other.moduli)
+
+    def drop_last(self, count: int = 1) -> "RnsBasis":
+        if count >= len(self):
+            raise ValueError("cannot drop every modulus")
+        return RnsBasis(self.moduli[: len(self) - count])
+
+    # ------------------------------------------------------------------
+    # Residue <-> integer conversions (exact, big-int; used at the edges).
+    # ------------------------------------------------------------------
+
+    def to_residues(self, values) -> np.ndarray:
+        """Integers (any size, possibly negative) -> residue matrix (L, N)."""
+        vals = np.asarray(values, dtype=object)
+        out = np.empty((len(self), vals.shape[0]), dtype=np.uint64)
+        for i, qi in enumerate(self.moduli):
+            out[i] = (vals % qi).astype(np.uint64)
+        return out
+
+    def to_integers(self, residues: np.ndarray, centered: bool = True) -> np.ndarray:
+        """Residue matrix (L, N) -> object array of integers via CRT.
+
+        With ``centered`` the result is lifted to (-Q/2, Q/2], which is how
+        decryption recovers signed plaintext coefficients.
+        """
+        q = self.modulus
+        acc = np.zeros(residues.shape[1], dtype=object)
+        for i in range(len(self)):
+            weight = self._q_hats[i] * self._q_hat_invs[i] % q
+            acc = (acc + residues[i].astype(object) * weight) % q
+        if centered:
+            half = q // 2
+            acc = np.where(acc > half, acc - q, acc)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Fast base conversion: the changeRNSBase kernel (Listing 1).
+    # ------------------------------------------------------------------
+
+    def conversion_constants(self, dest: "RnsBasis") -> np.ndarray:
+        """The constant matrix C[src][dest] = (Q/q_src) mod p_dest.
+
+        These are exactly the ``constant[srcModIdx][destModIdx]`` values that
+        Listing 1's changeRNSBase multiplies by, and the values held in the
+        CRB unit's constant registers.
+        """
+        c = np.empty((len(self), len(dest)), dtype=np.uint64)
+        for i, q_hat in enumerate(self._q_hats):
+            for j, pj in enumerate(dest.moduli):
+                c[i, j] = q_hat % pj
+        return c
+
+    def convert_approx(
+        self, residues: np.ndarray, dest: "RnsBasis", correct: bool = True
+    ) -> np.ndarray:
+        """Fast base conversion of (L, N) residues into basis ``dest``.
+
+        Structure mirrors Listing 1: scale each source residue by
+        (Q/q_i)^{-1} mod q_i, then multiply-accumulate rows against the
+        constant matrix.  The accumulation over source moduli is what the
+        CRB unit buffers on chip.
+
+        With ``correct`` (the HPS floating-point trick used by production
+        RNS implementations), the integer overflow count
+        v = round(sum_i scaled_i / q_i) is estimated in double precision
+        and v*Q subtracted, so the result is x + a*Q with |a| <= 1 instead
+        of 0 <= a < L - an order-of-magnitude keyswitch-noise reduction.
+        """
+        if residues.shape[0] != len(self):
+            raise ValueError("residue count does not match basis size")
+        scaled = np.empty_like(residues)
+        fraction = np.zeros(residues.shape[1], dtype=np.float64)
+        for i, qi in enumerate(self.moduli):
+            scaled[i] = residues[i] * np.uint64(self._q_hat_invs[i]) % np.uint64(qi)
+            if correct:
+                fraction += scaled[i].astype(np.float64) / qi
+        consts = self.conversion_constants(dest)
+        out = np.zeros((len(dest), residues.shape[1]), dtype=np.uint64)
+        overflow = np.rint(fraction).astype(np.uint64) if correct else None
+        for j, pj in enumerate(dest.moduli):
+            pj64 = np.uint64(pj)
+            acc = out[j]
+            for i in range(len(self)):
+                acc += scaled[i] % pj64 * (consts[i, j] % pj64) % pj64
+                acc %= pj64
+            if correct:
+                q_mod = np.uint64(self.modulus % pj)
+                acc += (pj64 - overflow % pj64 * q_mod % pj64) % pj64
+                acc %= pj64
+        return out
+
+    def convert_exact(self, residues: np.ndarray, dest: "RnsBasis") -> np.ndarray:
+        """Exact (centered) base conversion through big-int CRT; test oracle."""
+        values = self.to_integers(residues, centered=True)
+        return dest.to_residues(values)

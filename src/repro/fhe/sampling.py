@@ -1,0 +1,67 @@
+"""Random samplers used by CKKS key generation and encryption.
+
+Also home of the software analogue of the paper's KSHGen insight: the
+uniform ("a") half of every public key and keyswitch hint is pseudorandom,
+so it can be regenerated from a 128-bit seed instead of being stored.  The
+hardware KSHGen unit does this with a Keccak-based PRNG plus rejection
+sampling (Sec. 5.2); here :func:`seeded_uniform_poly` plays that role with
+numpy's Philox counter PRNG.  A faithful model of the rejection-sampling
+pipeline itself (buffers, rejection probability) lives in
+``repro.core.kshgen``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.poly import EVAL, RnsPoly
+from repro.fhe.rns import RnsBasis
+
+ERROR_SIGMA = 3.2  # standard deviation of the LWE error, per the HE standard
+
+
+def ternary_secret(
+    degree: int, rng: np.random.Generator, hamming_weight: int | None = None
+) -> np.ndarray:
+    """Sample a ternary secret key in {-1, 0, 1}^N.
+
+    ``hamming_weight=None`` gives a dense (non-sparse) key, the setting the
+    paper uses to maximize bootstrapping precision (Sec. 8, citing Bossuat
+    et al.).  A sparse key with the given Hamming weight is also supported,
+    since it keeps the EvalMod range small at toy parameters.
+    """
+    if hamming_weight is None:
+        return rng.integers(-1, 2, size=degree, dtype=np.int64)
+    if not 0 < hamming_weight <= degree:
+        raise ValueError("hamming weight out of range")
+    coeffs = np.zeros(degree, dtype=np.int64)
+    support = rng.choice(degree, size=hamming_weight, replace=False)
+    coeffs[support] = rng.choice(np.array([-1, 1]), size=hamming_weight)
+    return coeffs
+
+
+def gaussian_error(
+    degree: int, rng: np.random.Generator, sigma: float = ERROR_SIGMA
+) -> np.ndarray:
+    """Rounded-Gaussian error polynomial coefficients."""
+    return np.rint(rng.normal(0.0, sigma, size=degree)).astype(np.int64)
+
+
+def error_poly(
+    basis: RnsBasis, degree: int, rng: np.random.Generator,
+    sigma: float = ERROR_SIGMA,
+) -> RnsPoly:
+    """A small error as an EVAL-domain RnsPoly over ``basis``."""
+    return RnsPoly.from_integers(basis, gaussian_error(degree, rng, sigma), EVAL)
+
+
+def seeded_uniform_poly(basis: RnsBasis, degree: int, seed, stream: int) -> RnsPoly:
+    """Deterministically expand (seed, stream) into a uniform poly over basis.
+
+    This is the storage/bandwidth saving the KSHGen unit provides: callers
+    keep the seed and regenerate the uniform half of a hint on demand.  The
+    same (seed, stream) pair always yields the same polynomial, which is the
+    property keyswitch hints rely on.
+    """
+    rng = np.random.Generator(np.random.Philox(key=seed, counter=[0, 0, 0, stream]))
+    return RnsPoly.uniform_random(basis, degree, rng, EVAL)

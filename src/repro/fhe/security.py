@@ -1,0 +1,162 @@
+"""RLWE security estimation (table-driven stand-in for the LWE estimator).
+
+The paper uses the LWE estimator of Albrecht et al. [5] to pick (N, logQP)
+operating points (Sec. 8).  Running that Sage tool is out of scope here;
+instead we encode the standard ternary-secret RLWE security tables (the
+Homomorphic Encryption Standard [4] numbers, extended to 80 bits and to
+N=128K by the lambda ~ N/log(Q) scaling the paper quotes in Sec. 2.3) and
+interpolate.  Only these level choices feed the evaluation, so fidelity to
+the published operating points is what matters:
+
+* 80-bit @ N=64K  -> logQP up to ~2900 (the paper's main configuration,
+  L=60 q-primes at 28 bits plus 2-digit special primes fits: Sec. 3.1).
+* 128-bit @ N=64K -> logQP up to ~1782; forces bootstrapping twice as often
+  with 1/2/3-digit keyswitching (Sec. 9.4).
+* 200-bit        -> requires N=128K (Sec. 9.4).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+# max log2(QP) per ring degree at each security level, ternary secret.
+# 128/192/256 rows follow the HE Standard; 80-bit and N=131072 rows use the
+# lambda ~ c * N / logQP fit through the published points.
+_MAX_LOGQ = {
+    80: {
+        1024: 44, 2048: 88, 4096: 176, 8192: 354,
+        16384: 709, 32768: 1420, 65536: 2900, 131072: 5800,
+    },
+    128: {
+        1024: 27, 2048: 54, 4096: 109, 8192: 218,
+        16384: 438, 32768: 881, 65536: 1782, 131072: 3564,
+    },
+    192: {
+        1024: 19, 2048: 37, 4096: 75, 8192: 152,
+        16384: 305, 32768: 611, 65536: 1230, 131072: 2460,
+    },
+    256: {
+        1024: 14, 2048: 29, 4096: 58, 8192: 118,
+        16384: 237, 32768: 476, 65536: 958, 131072: 1916,
+    },
+}
+
+_LEVELS = sorted(_MAX_LOGQ)
+
+
+def max_log_q_for_security(degree: int, security: int) -> float:
+    """Largest log2(QP) admissible at ``security`` bits for ring degree N.
+
+    Interpolates linearly in security between table rows (e.g. the paper's
+    200-bit target sits between the 192- and 256-bit standard rows).
+    """
+    if degree not in _MAX_LOGQ[128]:
+        raise ValueError(f"no table row for N={degree}")
+    if security <= _LEVELS[0]:
+        return float(_MAX_LOGQ[_LEVELS[0]][degree])
+    if security >= _LEVELS[-1]:
+        return float(_MAX_LOGQ[_LEVELS[-1]][degree])
+    hi_idx = bisect_left(_LEVELS, security)
+    lo, hi = _LEVELS[hi_idx - 1], _LEVELS[hi_idx]
+    if security == hi:
+        return float(_MAX_LOGQ[hi][degree])
+    frac = (security - lo) / (hi - lo)
+    q_lo, q_hi = _MAX_LOGQ[lo][degree], _MAX_LOGQ[hi][degree]
+    return q_lo + frac * (q_hi - q_lo)
+
+
+def security_bits(degree: int, log_qp: float) -> float:
+    """Estimated security of an (N, logQP) pair, by inverse interpolation."""
+    if log_qp <= 0:
+        raise ValueError("logQP must be positive")
+    # Security is monotonically decreasing in logQP at fixed N.
+    lo_sec, hi_sec = _LEVELS[0], _LEVELS[-1]
+    if log_qp >= max_log_q_for_security(degree, lo_sec):
+        # Extrapolate below the table with the lambda ~ N/logQP law.
+        return lo_sec * max_log_q_for_security(degree, lo_sec) / log_qp
+    if log_qp <= max_log_q_for_security(degree, hi_sec):
+        return hi_sec * max_log_q_for_security(degree, hi_sec) / log_qp
+    # Bisect the interpolated, continuous curve.
+    lo, hi = float(lo_sec), float(hi_sec)
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if max_log_q_for_security(degree, mid) >= log_qp:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+class SecurityEstimator:
+    """Helper for picking keyswitching digit schedules at a security target.
+
+    Sec. 3.1: a t-digit keyswitch at level L needs logQP =
+    logQ * (1 + 1/t) * (alpha rounding aside); larger t shrinks the special
+    basis but grows the hint.  ``digits_for_level`` returns the smallest t
+    whose expansion keeps (N, logQP) at the requested security - the rule
+    the paper applies ("2-digit keyswitching for L > 52 and 1-digit
+    elsewhere" at 80 bits / N=64K).
+    """
+
+    def __init__(self, degree: int, security: int, modulus_bits: int = 28,
+                 max_digits: int = 4):
+        self.degree = degree
+        self.security = security
+        self.modulus_bits = modulus_bits
+        self.max_digits = max_digits
+        self.max_log_qp = max_log_q_for_security(degree, security)
+
+    def max_level(self) -> int:
+        """Largest usable L (with the best allowed digit count)."""
+        level = int(self.max_log_qp // self.modulus_bits)
+        while level > 0 and self.digits_for_level(level) is None:
+            level -= 1
+        return level
+
+    def log_qp(self, level: int, digits: int) -> float:
+        """logQP of a t-digit keyswitch at level L (alpha = ceil(L/t))."""
+        alpha = -(-level // digits)
+        return (level + alpha) * self.modulus_bits
+
+    def digits_for_level(self, level: int) -> int | None:
+        """Smallest digit count t that is secure at this level, else None."""
+        for digits in range(1, self.max_digits + 1):
+            if self.log_qp(level, digits) <= self.max_log_qp:
+                return digits
+        return None
+
+    def digit_schedule(self, max_level: int) -> dict[int, int]:
+        """Digit count to use at every level 1..max_level.
+
+        Raises if some level is insecure even at ``max_digits`` - the signal
+        that bootstrapping must happen sooner or N must grow.
+        """
+        schedule = {}
+        for level in range(1, max_level + 1):
+            digits = self.digits_for_level(level)
+            if digits is None:
+                raise ValueError(
+                    f"level {level} insecure at {self.security} bits for "
+                    f"N={self.degree} even with {self.max_digits}-digit "
+                    "keyswitching"
+                )
+            schedule[level] = digits
+        return schedule
+
+
+def ciphertext_megabytes(degree: int, level: int, bytes_per_word: float = 3.5) -> float:
+    """Size of a (c0, c1) ciphertext in MB; 3.5 B/word packs 28-bit residues."""
+    return 2 * degree * level * bytes_per_word / 2**20
+
+
+def hint_megabytes(degree: int, level: int, digits: int,
+                   bytes_per_word: float = 3.5, seeded: bool = True) -> float:
+    """Keyswitch hint footprint in MB.
+
+    (t+1) ciphertexts' worth of residues (Sec. 3.1); seeded generation
+    (KSHGen) halves what must be stored/moved.
+    """
+    alpha = -(-level // digits)
+    rows = digits * (level + alpha)  # per hint half
+    halves = 1 if seeded else 2
+    return halves * rows * degree * bytes_per_word / 2**20

@@ -1,0 +1,123 @@
+"""Shared intermediate representation: programs as homomorphic-op streams.
+
+FHE programs are static dataflow graphs (Sec. 2.1): no data-dependent
+control flow, every operation known ahead of time.  The compiler front end
+(`repro.compiler`) builds :class:`Program` objects; the CraterLake simulator
+(`repro.core.simulator`), the F1+ model and the CPU model all consume the
+same stream, so every compared system runs literally the same workload.
+
+Operands are named; sizes derive from (kind, level, degree).  ``hint_id``
+identifies which keyswitch hint an op applies - hint reuse across ops is
+what the register file's Belady management and the KSH traffic accounting
+(Fig. 10a) are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Operation kinds.  MULT/ROTATE need keyswitching; PMULT/ADD/RESCALE are
+# plain polynomial ops; INPUT marks an off-chip ciphertext operand's first
+# use (client data or layer weights).
+MULT = "mult"          # ciphertext x ciphertext (+relinearization)
+PMULT = "pmult"        # ciphertext x plaintext
+ADD = "add"            # ciphertext add/sub
+ROTATE = "rotate"      # automorphism + keyswitch
+CONJUGATE = "conjugate"  # automorphism + keyswitch (counted like rotate)
+RESCALE = "rescale"
+INPUT = "input"
+OUTPUT = "output"
+
+KINDS = (MULT, PMULT, ADD, ROTATE, CONJUGATE, RESCALE, INPUT, OUTPUT)
+KEYSWITCH_KINDS = (MULT, ROTATE, CONJUGATE)
+
+
+@dataclass
+class HomOp:
+    """One homomorphic operation at a known level.
+
+    ``level`` is the multiplicative budget L at which the op executes
+    (the number of live RNS residues); ``digits`` the keyswitching digit
+    count t chosen for this level by the compiler (Sec. 3.1).
+    """
+
+    kind: str
+    level: int
+    result: str
+    operands: tuple[str, ...] = ()
+    hint_id: str | None = None
+    plaintext_id: str | None = None
+    digits: int = 1
+    tag: str = ""  # phase label for reporting (e.g. "bootstrap", "conv3")
+    # Compact plaintext: small-coefficient multiplicands (bootstrap matrix
+    # diagonals, scale constants) are stored as ~2 residues and extended
+    # on chip, instead of occupying all L residues in memory.
+    compact_pt: bool = False
+    # Batched emission: this op stands for ``repeat`` structurally
+    # identical, mutually independent ops (e.g. the per-block rotations of
+    # a blocked matvec, which share one hint, or a matvec's diagonal
+    # products with distinct single-use plaintexts).  Compute scales with
+    # ``repeat``; a shared hint is still fetched once.
+    repeat: int = 1
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.level < 1:
+            raise ValueError("level must be >= 1")
+        if self.kind in KEYSWITCH_KINDS and self.hint_id is None:
+            raise ValueError(f"{self.kind} requires a hint_id")
+        if self.digits < 1:
+            raise ValueError("digits must be >= 1")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if self.repeat > 1 and self.kind in (INPUT, OUTPUT, RESCALE):
+            raise ValueError(f"{self.kind} ops cannot batch with repeat")
+
+
+@dataclass
+class Program:
+    """An ordered stream of homomorphic ops plus workload metadata."""
+
+    name: str
+    degree: int
+    max_level: int
+    ops: list[HomOp] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self):
+        if self.degree & (self.degree - 1):
+            raise ValueError("degree must be a power of two")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def append(self, op: HomOp) -> HomOp:
+        if op.level > self.max_level:
+            raise ValueError(
+                f"op at level {op.level} exceeds program max {self.max_level}"
+            )
+        self.ops.append(op)
+        return op
+
+    # -- summary statistics used by reports and tests ----------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for op in self.ops if op.kind == kind)
+
+    def keyswitch_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind in KEYSWITCH_KINDS)
+
+    def distinct_hints(self) -> set[str]:
+        return {op.hint_id for op in self.ops if op.hint_id is not None}
+
+    def max_live_level(self) -> int:
+        return max((op.level for op in self.ops), default=0)
+
+    def phase_names(self) -> list[str]:
+        seen: list[str] = []
+        for op in self.ops:
+            if op.tag and (not seen or seen[-1] != op.tag):
+                if op.tag not in seen:
+                    seen.append(op.tag)
+        return seen

@@ -1,0 +1,77 @@
+"""Benchmark programs: the paper's full evaluation suite (Sec. 8).
+
+Deep benchmarks (high multiplicative depth, bootstrapping required):
+ResNet-20, HELR logistic regression, LSTM, fully packed bootstrapping.
+Shallow benchmarks (no bootstrapping): unpacked bootstrapping, LoLa-CIFAR,
+LoLa-MNIST with unencrypted and with encrypted weights.  Plus the two
+synthetic programs behind Fig. 3.
+
+Every benchmark is emitted through the compiler DSL as a homomorphic-op
+stream, so CraterLake, F1+ and the CPU model all execute identical work.
+"""
+
+from repro.ir import Program
+from repro.workloads.bootstrap import (
+    BootstrapPlan,
+    emit_bootstrap,
+    packed_bootstrapping,
+    unpacked_bootstrapping,
+)
+from repro.workloads.logreg import logistic_regression
+from repro.workloads.neural import (
+    lola_cifar,
+    lola_mnist,
+    lstm,
+    resnet20,
+)
+from repro.workloads.synthetic import multiplication_chain, wide_multiply_graph
+
+DEEP_BENCHMARKS = ("resnet20", "logreg", "lstm", "packed_bootstrap")
+SHALLOW_BENCHMARKS = (
+    "unpacked_bootstrap", "lola_cifar", "lola_mnist_uw", "lola_mnist_ew",
+)
+ALL_BENCHMARKS = DEEP_BENCHMARKS + SHALLOW_BENCHMARKS
+
+_FACTORIES = {
+    "resnet20": resnet20,
+    "logreg": logistic_regression,
+    "lstm": lstm,
+    "packed_bootstrap": packed_bootstrapping,
+    "unpacked_bootstrap": unpacked_bootstrapping,
+    "lola_cifar": lola_cifar,
+    "lola_mnist_uw": lambda **kw: lola_mnist(encrypted_weights=False, **kw),
+    "lola_mnist_ew": lambda **kw: lola_mnist(encrypted_weights=True, **kw),
+}
+
+
+def benchmark(name: str, security: int = 80,
+              degree: int | None = None) -> Program:
+    """Build a benchmark program at a security level (and optional ring
+    degree, for the N=128K study of Sec. 9.4)."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(_FACTORIES)}"
+        )
+    kwargs = {"security": security}
+    if degree is not None:
+        kwargs["degree"] = degree
+    return _FACTORIES[name](**kwargs)
+
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "DEEP_BENCHMARKS",
+    "SHALLOW_BENCHMARKS",
+    "BootstrapPlan",
+    "benchmark",
+    "emit_bootstrap",
+    "packed_bootstrapping",
+    "unpacked_bootstrapping",
+    "logistic_regression",
+    "lola_cifar",
+    "lola_mnist",
+    "lstm",
+    "resnet20",
+    "multiplication_chain",
+    "wide_multiply_graph",
+]

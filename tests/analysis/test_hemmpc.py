@@ -1,0 +1,30 @@
+"""Sec. 10's HE-MPC comparison arithmetic."""
+
+from repro.analysis.hemmpc import (
+    client_refresh_seconds,
+    compare_refresh,
+    narrow_input_savings,
+)
+
+
+def test_paper_refresh_numbers():
+    cmp = compare_refresh()
+    # >13 MB on 100 Mbps: over a second per refresh.
+    assert cmp.network_seconds > 1.0
+    # vs 3.9 ms bootstrapping: the paper quotes 256x.
+    assert 200 < cmp.advantage < 320
+
+
+def test_faster_links_shrink_but_dont_close_the_gap():
+    gigabit = compare_refresh(link_mbps=1000.0)
+    assert gigabit.advantage < compare_refresh().advantage
+    assert gigabit.advantage > 20  # still more than an order of magnitude
+
+
+def test_refresh_seconds_scale_with_size():
+    assert client_refresh_seconds(26.0) == 2 * client_refresh_seconds(13.0)
+
+
+def test_narrow_input_savings():
+    # 32-bit instead of 1,500-bit coefficients: ~47x cheaper for clients.
+    assert 40 < narrow_input_savings() < 50

@@ -1,0 +1,66 @@
+"""F1+ and CPU baselines: configuration and qualitative behavior."""
+
+import pytest
+
+from repro.baselines import CpuModel, cpu_seconds, f1plus_config
+from repro.core import ChipConfig, simulate
+from repro.workloads import benchmark
+
+
+def test_f1plus_configuration():
+    f1 = f1plus_config()
+    assert f1.lanes == 32 * 256
+    assert f1.lane_groups == 32
+    assert not f1.crb and not f1.chaining and not f1.kshgen
+    assert not f1.fixed_network
+    # Raw throughput: 2x CraterLake's NTT, ~2.4x its mul/add (Sec. 8).
+    cl = ChipConfig()
+    assert f1.ntt_units * f1.lanes == 2 * cl.ntt_units * cl.lanes
+    ratio = (f1.mul_units * f1.lanes) / (cl.mul_units * cl.lanes)
+    assert 2.0 < ratio < 3.0
+
+
+def test_f1plus_network_is_57tbps_peak():
+    f1 = f1plus_config()
+    peak = (f1.network_words_per_cycle_factor * f1.lanes
+            * f1.bytes_per_word * f1.clock_hz / 1e12)
+    assert 56 < peak < 59
+
+
+def test_f1plus_loses_big_on_deep_wins_nothing_on_shallow():
+    f1 = f1plus_config()
+    cl = ChipConfig()
+    deep = benchmark("packed_bootstrap")
+    shallow = benchmark("lola_mnist_uw")
+    deep_ratio = simulate(deep, f1).cycles / simulate(deep, cl).cycles
+    shallow_ratio = simulate(shallow, f1).cycles / simulate(shallow, cl).cycles
+    assert deep_ratio > 5
+    assert shallow_ratio < 2.5
+    assert deep_ratio > 3 * shallow_ratio
+
+
+def test_cpu_model_calibration_anchor():
+    """The single fitted constant reproduces the paper's packed
+    bootstrapping CPU time (17.2 s) within ~30%."""
+    seconds = cpu_seconds(benchmark("packed_bootstrap"))
+    assert 10 < seconds < 23
+
+
+def test_cpu_scaling_emerges_from_op_counts():
+    packed = cpu_seconds(benchmark("packed_bootstrap"))
+    unpacked = cpu_seconds(benchmark("unpacked_bootstrap"))
+    # Paper: 17.2 s vs 0.877 s - a ~20x gap driven purely by op counts.
+    assert 8 < packed / unpacked < 80
+
+
+def test_cpu_deep_vs_shallow_ordering():
+    resnet = cpu_seconds(benchmark("resnet20"))
+    mnist = cpu_seconds(benchmark("lola_mnist_uw"))
+    assert resnet > 1000 * mnist  # 23 min vs ~ms-scale on the paper's CPU
+
+
+def test_cpu_model_parameters():
+    model = CpuModel(modmuls_per_second=1e9)
+    slow = model.seconds(benchmark("unpacked_bootstrap"))
+    fast = cpu_seconds(benchmark("unpacked_bootstrap"))
+    assert slow > 5 * fast

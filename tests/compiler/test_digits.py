@@ -1,0 +1,37 @@
+"""Digit schedule selection for security targets (Sec. 3.1)."""
+
+import pytest
+
+from repro.compiler.digits import digit_schedule, max_usable_level
+
+
+def test_80bit_schedule_mostly_one_digit():
+    sched = digit_schedule(65536, 80, 57)
+    assert sched[1] == 1
+    assert sched[30] == 1
+    assert max(sched.values()) <= 2
+    # The 1->2 digit crossover sits in the upper-40s/low-50s.
+    crossover = min(l for l, d in sched.items() if d == 2)
+    assert 45 <= crossover <= 57
+
+
+def test_schedule_monotone_in_level():
+    sched = digit_schedule(65536, 80, 57)
+    for level in range(2, 57):
+        assert sched[level] >= sched[level - 1]
+
+
+def test_128bit_needs_higher_digits():
+    max_lvl = max_usable_level(65536, 128)
+    sched = digit_schedule(65536, 128, max_lvl)
+    assert max(sched.values()) >= 3
+
+
+def test_insecure_combination_raises():
+    with pytest.raises(ValueError, match="insecure"):
+        digit_schedule(4096, 128, 30)
+
+
+def test_max_usable_level_by_degree():
+    assert max_usable_level(131072, 200) > max_usable_level(65536, 200)
+    assert max_usable_level(65536, 80) > max_usable_level(65536, 128)

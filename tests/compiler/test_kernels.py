@@ -1,0 +1,86 @@
+"""Kernel op-count shapes: BSGS matvec, PS activation, reductions."""
+
+import math
+
+from repro.compiler.dsl import FheBuilder
+from repro.compiler.kernels import (
+    blocked_matvec,
+    matvec,
+    polynomial_activation,
+    rotate_accumulate,
+)
+from repro.ir import MULT, PMULT, ROTATE
+
+
+def fresh(level=20):
+    b = FheBuilder("k", degree=65536, max_level=level)
+    return b, b.input("x", level)
+
+
+def test_matvec_bsgs_rotation_count():
+    b, x = fresh()
+    matvec(b, x, 256, weights="w")
+    prog = b.build()
+    rotations = prog.count(ROTATE)
+    # BSGS: ~2*sqrt(256) rotations, far fewer than 256.
+    assert rotations < 256 / 4
+    assert rotations >= math.isqrt(256) - 1
+
+
+def test_matvec_consumes_one_level():
+    b, x = fresh()
+    out = matvec(b, x, 64, weights="w")
+    assert out.level == 19
+
+
+def test_matvec_batched_pmults_cover_all_diagonals():
+    b, x = fresh()
+    matvec(b, x, 100, weights="w")
+    prog = b.build()
+    total = sum(op.repeat for op in prog.ops if op.kind == PMULT)
+    assert total == 100
+
+
+def test_matvec_hint_sharing_across_calls():
+    b, x = fresh()
+    matvec(b, x, 64, weights="w1")
+    matvec(b, x, 64, weights="w2")
+    prog = b.build()
+    hints = {op.hint_id for op in prog.ops if op.kind == ROTATE}
+    # Same default hint namespace: second matvec reuses the first's hints.
+    per_call = prog.count(ROTATE) // 2
+    assert len(hints) == per_call
+
+
+def test_blocked_matvec_scales_compute_not_hints():
+    b1, x1 = fresh()
+    blocked_matvec(b1, x1, 32, blocks=1, weights="w")
+    b8, x8 = fresh()
+    blocked_matvec(b8, x8, 32, blocks=8, weights="w")
+    p1, p8 = b1.build(), b8.build()
+    assert p1.distinct_hints() == p8.distinct_hints()
+    reps1 = sum(op.repeat for op in p1.ops if op.kind == ROTATE)
+    reps8 = sum(op.repeat for op in p8.ops if op.kind == ROTATE)
+    assert reps8 == 8 * reps1
+
+
+def test_polynomial_activation_log_depth():
+    for degree in (3, 7, 15, 27, 63):
+        b, x = fresh(level=20)
+        out = polynomial_activation(b, x, degree)
+        consumed = 20 - out.level
+        assert consumed <= math.ceil(math.log2(degree + 1)) + 3, degree
+
+
+def test_polynomial_activation_sqrt_mults():
+    b, x = fresh()
+    polynomial_activation(b, x, 63)
+    mults = b.build().count(MULT)
+    assert mults < 63 / 2          # PS: far below one mult per degree
+    assert mults >= math.isqrt(63)
+
+
+def test_rotate_accumulate_log_rotations():
+    b, x = fresh()
+    rotate_accumulate(b, x, 256)
+    assert b.build().count(ROTATE) == 8  # log2(256)

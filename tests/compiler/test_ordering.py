@@ -1,0 +1,74 @@
+"""Reuse-ordering pass: dependency safety and traffic improvement."""
+
+import pytest
+
+from repro.compiler.dsl import FheBuilder
+from repro.compiler.ordering import order_for_reuse
+from repro.core.config import ChipConfig
+from repro.core.simulator import simulate
+from repro.ir import HomOp, Program
+
+
+def interleaved_hints_program():
+    """Rotations alternating between two hints on independent data: the
+    worst order for hint reuse, trivially improvable by grouping."""
+    b = FheBuilder("interleave", degree=65536, max_level=60)
+    xs = [b.input(f"x{i}", 60) for i in range(6)]
+    for x in xs:
+        b.rotate(x, 1, hint_id="hintA")
+    # Emit in an interleaved order by rebuilding manually:
+    prog = b.build()
+    ops = []
+    for i, x in enumerate(xs):
+        ops.append(HomOp(kind="rotate", level=60, result=f"ra{i}",
+                         operands=(x.name,), hint_id="hintA"))
+        ops.append(HomOp(kind="rotate", level=60, result=f"rb{i}",
+                         operands=(x.name,), hint_id="hintB"))
+    out = Program(name="interleave", degree=65536, max_level=60)
+    out.ops = [op for op in prog.ops if op.kind == "input"] + ops
+    return out
+
+
+def test_ordering_preserves_dependencies():
+    b = FheBuilder("dep", degree=65536, max_level=20)
+    x = b.input("x", 20)
+    y = b.mult(x, x)
+    z = b.rotate(y, 1)
+    b.output(z)
+    prog = b.build()
+    ordered = order_for_reuse(prog)
+    assert len(ordered.ops) == len(prog.ops)
+    position = {op.result: i for i, op in enumerate(ordered.ops)}
+    for op in ordered.ops:
+        for operand in op.operands:
+            if operand in position:
+                assert position[operand] < position[op.result]
+
+
+def test_ordering_groups_hint_uses():
+    prog = interleaved_hints_program()
+    ordered = order_for_reuse(prog)
+    hints = [op.hint_id for op in ordered.ops if op.hint_id]
+    # After ordering, each hint's uses are contiguous (2 runs, not 12).
+    runs = 1 + sum(1 for a, b in zip(hints, hints[1:]) if a != b)
+    assert runs == 2
+
+
+def test_ordering_reduces_simulated_traffic():
+    """With a register file that fits one L=60 hint, grouping hint uses
+    halves the KSH traffic - the compiler's reason to reorder."""
+    prog = interleaved_hints_program()
+    cfg = ChipConfig().with_register_file(64)
+    before = simulate(prog, cfg).traffic_words["ksh"]
+    after = simulate(order_for_reuse(prog), cfg).traffic_words["ksh"]
+    assert after <= before / 3
+
+
+def test_ordering_is_idempotent_on_serial_chains():
+    b = FheBuilder("serial", degree=65536, max_level=20)
+    x = b.input("x", 20)
+    for _ in range(5):
+        x = b.mult(x, x)
+    prog = b.build()
+    ordered = order_for_reuse(prog)
+    assert [op.result for op in ordered.ops] == [op.result for op in prog.ops]

@@ -1,0 +1,68 @@
+"""Greedy bootstrap placement (Sec. 2.3's NP-hard problem, chain case)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.placement import (
+    Placement,
+    amortized_cost_per_op,
+    greedy_is_lazy,
+    plan_refreshes,
+)
+
+
+def test_no_refresh_when_budget_suffices():
+    p = plan_refreshes([3, 3, 3], usable_levels=10)
+    assert p.count == 0
+
+
+def test_refresh_exactly_at_exhaustion():
+    p = plan_refreshes([3, 3, 3, 3], usable_levels=10)
+    # 3+3+3 = 9 fits; the 4th step would need 12 > 10: refresh before it.
+    assert p.refresh_before == (3,)
+
+
+def test_repeated_refreshes():
+    p = plan_refreshes([5] * 10, usable_levels=10)
+    assert p.count == 4  # two steps per region after the first budget
+
+
+def test_start_budget_override():
+    p = plan_refreshes([5, 5], usable_levels=20, start_budget=5)
+    assert p.refresh_before == (1,)
+
+
+def test_oversized_step_rejected():
+    with pytest.raises(ValueError, match="decompose"):
+        plan_refreshes([25], usable_levels=22)
+    with pytest.raises(ValueError):
+        plan_refreshes([1], usable_levels=0)
+
+
+def test_amortized_cost():
+    p = Placement(refresh_before=(2,), usable_levels=10)
+    cost = amortized_cost_per_op(p, [1.0, 1.0, 1.0, 1.0], bootstrap_cost=8.0)
+    assert cost == (4 + 8) / 4
+    with pytest.raises(ValueError):
+        amortized_cost_per_op(p, [], 1.0)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                max_size=40),
+       st.integers(min_value=8, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_greedy_placement_properties(depths, usable):
+    """Properties: the plan is feasible (no region over budget) and lazy
+    (never refreshes while the next step still fits) - which for serial
+    chains implies minimal refresh count."""
+    p = plan_refreshes(depths, usable)
+    # Feasibility: replay and confirm budget never goes negative.
+    budget = usable
+    refreshes = set(p.refresh_before)
+    for i, d in enumerate(depths):
+        if i in refreshes:
+            budget = usable
+        budget -= d
+        assert budget >= 0
+    assert greedy_is_lazy(p, depths)

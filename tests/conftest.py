@@ -1,0 +1,71 @@
+"""Shared fixtures: CKKS contexts are expensive, so they are session-scoped.
+
+Tests must not mutate fixture state (ciphertexts are fine - operations are
+functional and return new objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.fhe.ckks import CkksContext, CkksParams, SecretKey
+from repro.fhe.keyswitch import KeySwitchHint
+
+
+@dataclass
+class FheFixture:
+    """A context with generated keys and commonly needed hints."""
+
+    ctx: CkksContext
+    sk: SecretKey
+    relin: KeySwitchHint
+    rot1: KeySwitchHint
+    conj: KeySwitchHint
+
+    @property
+    def slots(self) -> int:
+        return self.ctx.params.slots
+
+    def random_values(self, seed: int = 0, magnitude: float = 0.5) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return magnitude * (
+            rng.normal(size=self.slots) + 1j * rng.normal(size=self.slots)
+        )
+
+
+def _build(params: CkksParams) -> FheFixture:
+    ctx = CkksContext(params)
+    sk = ctx.keygen()
+    return FheFixture(
+        ctx=ctx,
+        sk=sk,
+        relin=ctx.relin_hint(sk),
+        rot1=ctx.rotation_hint(sk, 1),
+        conj=ctx.conjugation_hint(sk),
+    )
+
+
+@pytest.fixture(scope="session")
+def fhe() -> FheFixture:
+    """Default small context: N=512, 6 levels, 1-digit keyswitching."""
+    return _build(CkksParams(degree=512, max_level=6, digits=1, seed=7))
+
+
+@pytest.fixture(scope="session")
+def fhe_2digit() -> FheFixture:
+    """2-digit boosted keyswitching (Sec. 3.1 hint/expansion tradeoff)."""
+    return _build(CkksParams(degree=512, max_level=6, digits=2, seed=8))
+
+
+@pytest.fixture(scope="session")
+def fhe_3digit() -> FheFixture:
+    return _build(CkksParams(degree=256, max_level=6, digits=3, seed=9))
+
+
+@pytest.fixture(scope="session")
+def fhe_deep() -> FheFixture:
+    """Deeper chain for polynomial evaluation / linear transform tests."""
+    return _build(CkksParams(degree=256, max_level=12, digits=1, seed=10))

@@ -1,0 +1,55 @@
+"""Area and energy models (Table 2 / Fig. 10b backing)."""
+
+from repro.core import ChipConfig, area_breakdown, simulate, total_area
+from repro.core.area import scaled_5nm, total_fu_area
+from repro.core.energy import (
+    average_power,
+    energy_breakdown,
+    performance_per_joule,
+)
+from repro.workloads import benchmark
+
+
+def test_total_area_near_paper():
+    assert abs(total_area() - 472.3) < 3.0
+
+
+def test_fu_area_share():
+    assert 0.48 < total_fu_area() / total_area() < 0.54
+
+
+def test_crb_dominates_fu_area():
+    b = area_breakdown()
+    assert b["CRB FU"] > 0.6 * total_fu_area()
+
+
+def test_ablations_change_area_sensibly():
+    cfg = ChipConfig()
+    assert total_area(cfg.without_crb_chaining()) < total_area(cfg)
+    assert total_area(cfg.with_crossbar_network()) > total_area(cfg) + 100
+    assert total_area(cfg.with_register_file(350)) > total_area(cfg)
+
+
+def test_5nm_projection():
+    proj = scaled_5nm()
+    assert abs(proj["area_mm2"] - 157.0) < 3.0
+    assert abs(proj["peak_power_w"] - 146.0) < 2.0
+
+
+def test_power_within_envelope_and_fu_dominated():
+    res = simulate(benchmark("packed_bootstrap"), ChipConfig())
+    watts = average_power(res)
+    assert 80 < watts < 330
+    brk = energy_breakdown(res)
+    assert brk["Func Units"] == max(brk.values())
+
+
+def test_performance_per_joule_orders_systems():
+    from repro.baselines import f1plus_config
+
+    prog = benchmark("packed_bootstrap")
+    cl = simulate(prog, ChipConfig())
+    f1 = simulate(prog, f1plus_config())
+    # Sec. 9.2: CraterLake is far more efficient per joule than F1+.
+    assert (performance_per_joule(cl, ChipConfig())
+            > 3 * performance_per_joule(f1, f1plus_config()))

@@ -1,0 +1,69 @@
+"""Chip configurations and derived quantities."""
+
+import pytest
+
+from repro.core.config import ChipConfig
+
+
+def test_default_matches_paper():
+    cfg = ChipConfig()
+    assert cfg.lanes == 2048 and cfg.lane_groups == 8
+    assert cfg.group_lanes == 256
+    assert cfg.register_file_mb == 256.0
+    assert cfg.ntt_units == 2 and cfg.mul_units == 5 and cfg.add_units == 5
+    assert cfg.max_degree == 65536
+
+
+def test_hbm_bandwidth():
+    cfg = ChipConfig()
+    # 2 PHYs x 512 GB/s at 1 GHz = 1024 B/cycle.
+    assert abs(cfg.hbm_bytes_per_cycle - 1024.0) < 1e-9
+    assert abs(cfg.hbm_words_per_cycle - 1024.0 / 3.5) < 1e-9
+
+
+def test_network_bandwidth_is_29_tbps():
+    cfg = ChipConfig()
+    tbps = cfg.network_words_per_cycle * cfg.bytes_per_word * cfg.clock_hz / 1e12
+    assert 28 < tbps < 30  # Sec. 4.2: 29 TB/s
+
+
+def test_register_file_capacity_in_ciphertexts():
+    cfg = ChipConfig()
+    ct_words = 2 * 65536 * 60
+    # Sec. 6: 'just shy of 10 ciphertexts' at N=64K, L=60.
+    assert 9 <= cfg.register_file_words // ct_words < 10
+
+
+def test_passes():
+    cfg = ChipConfig()
+    assert cfg.passes(65536) == 32
+    assert cfg.passes(16384) == 8
+    assert cfg.passes(1024) == 1  # never below one cycle
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChipConfig(lanes=2048, lane_groups=7)
+    with pytest.raises(ValueError):
+        ChipConfig(lanes=1000)
+    with pytest.raises(ValueError):
+        ChipConfig(max_degree=100000)
+
+
+def test_ablation_constructors():
+    cfg = ChipConfig()
+    assert not cfg.without_kshgen().kshgen
+    no_crb = cfg.without_crb_chaining()
+    assert not no_crb.crb and not no_crb.chaining
+    xbar = cfg.with_crossbar_network()
+    assert not xbar.fixed_network
+    assert xbar.network_efficiency < 1.0
+    assert cfg.with_register_file(100).register_file_mb == 100
+    # Ablations leave the base config untouched (frozen dataclass).
+    assert cfg.kshgen and cfg.crb and cfg.fixed_network
+
+
+def test_128k_variant():
+    big = ChipConfig.craterlake_128k()
+    assert big.max_degree == 131072
+    assert big.passes(131072) == 64

@@ -1,0 +1,146 @@
+"""Per-op cost model: Table 1 correspondence and limiting resources."""
+
+import pytest
+
+from repro.core.config import ChipConfig
+from repro.core.cost import (
+    boosted_keyswitch_cost,
+    ciphertext_words,
+    keyswitch_cost,
+    op_cost,
+    op_latency,
+    plaintext_words,
+    standard_keyswitch_cost,
+)
+from repro.ir import ADD, MULT, PMULT, RESCALE, ROTATE, HomOp
+
+CFG = ChipConfig()
+N = 65536
+
+
+def test_boosted_ntt_passes_match_table1():
+    # t=1 at level L: 6L NTT passes (Listing 1 / Table 1).
+    for level in (10, 30, 60):
+        cost = boosted_keyswitch_cost(CFG, N, level, 1)
+        assert cost.fu_elements["ntt"] == 6 * level * N
+
+
+def test_standard_ntt_passes_match_table1():
+    cost = standard_keyswitch_cost(CFG, N, 60)
+    assert cost.fu_elements["ntt"] == 60 * 60 * N
+    assert cost.fu_elements["mul"] == 2 * 60 * 60 * N
+
+
+def test_boosted_keyswitch_is_ntt_bound_on_craterlake():
+    """The CRB absorbs the 3L^2 MACs, leaving NTTs as the critical path:
+    this is the O(L^2) -> O(L) keyswitch time reduction of Sec. 5.1."""
+    cost = boosted_keyswitch_cost(CFG, N, 60, 1)
+    ntt_cycles = cost.fu_elements["ntt"] / (CFG.ntt_units * CFG.lanes)
+    assert abs(cost.compute_cycles(CFG) - ntt_cycles) / ntt_cycles < 0.05
+
+
+def test_keyswitch_scales_linearly_with_level():
+    c30 = boosted_keyswitch_cost(CFG, N, 30, 1).compute_cycles(CFG)
+    c60 = boosted_keyswitch_cost(CFG, N, 60, 1).compute_cycles(CFG)
+    assert 1.8 < c60 / c30 < 2.2
+
+
+def test_no_crb_ablation_is_port_bound():
+    no_crb = CFG.without_crb_chaining()
+    base = boosted_keyswitch_cost(CFG, N, 57, 2).compute_cycles(CFG)
+    ablated = boosted_keyswitch_cost(no_crb, N, 57, 2).compute_cycles(no_crb)
+    assert ablated > 10 * base  # the Table 4 CRB/chain cliff
+
+
+def test_kshgen_halves_hint_words():
+    with_gen = boosted_keyswitch_cost(CFG, N, 60, 1)
+    without = boosted_keyswitch_cost(CFG.without_kshgen(), N, 60, 1)
+    assert without.hint_words == 2 * with_gen.hint_words
+    assert with_gen.kshgen_elements > 0
+    assert without.kshgen_elements == 0
+
+
+def test_hint_words_match_sec3_sizes():
+    # Seeded 1-digit hint at L=60: half of 52.5 MB => ~26 MB.
+    cost = boosted_keyswitch_cost(CFG, N, 60, 1)
+    mb = cost.hint_words * CFG.bytes_per_word / 2**20
+    assert 25 < mb < 28
+
+
+def test_digits_tradeoff():
+    """Sec. 3.1: more digits => bigger hints, more modup NTTs."""
+    h1 = boosted_keyswitch_cost(CFG, N, 60, 1)
+    h2 = boosted_keyswitch_cost(CFG, N, 60, 2)
+    h3 = boosted_keyswitch_cost(CFG, N, 60, 3)
+    assert h1.hint_words < h2.hint_words < h3.hint_words
+    assert (h1.fu_elements["ntt"] <= h2.fu_elements["ntt"]
+            <= h3.fu_elements["ntt"])
+    assert h3.fu_elements["ntt"] > h1.fu_elements["ntt"]
+
+
+def test_policy_craterlake_always_boosted():
+    cost = keyswitch_cost(CFG, N, 4, 1)
+    # CRB present: boosted even where standard would be cheap.
+    assert "crb" in cost.fu_elements
+
+
+def test_policy_f1plus_crossover():
+    """F1+-style machines pick standard at low L, boosted at high L."""
+    from repro.baselines import f1plus_config
+
+    f1 = f1plus_config()
+    low = keyswitch_cost(f1, N, 6, 1)
+    high = keyswitch_cost(f1, N, 40, 1)
+    assert low.fu_elements["ntt"] == 36 * N          # L^2: standard
+    assert high.fu_elements["ntt"] == 6 * 40 * N     # 6L: boosted
+    assert high.fu_elements["ntt"] < 40 * 40 * N
+
+
+def test_op_cost_kinds():
+    for kind, operands in ((MULT, ("a", "b")), (ROTATE, ("a",)),
+                           (PMULT, ("a",)), (ADD, ("a", "b")),
+                           (RESCALE, ("a",))):
+        op = HomOp(kind=kind, level=20, result="r", operands=operands,
+                   hint_id="h" if kind in (MULT, ROTATE) else None)
+        cost = op_cost(CFG, op, N)
+        assert cost.compute_cycles(CFG) > 0, kind
+
+
+def test_mult_costs_more_than_pmult():
+    mult = HomOp(kind=MULT, level=20, result="r", operands=("a", "b"),
+                 hint_id="relin")
+    pmult = HomOp(kind=PMULT, level=20, result="r", operands=("a",),
+                  plaintext_id="w")
+    assert (op_cost(CFG, mult, N).compute_cycles(CFG)
+            > 5 * op_cost(CFG, pmult, N).compute_cycles(CFG))
+
+
+def test_repeat_scales_compute_not_hints():
+    base = HomOp(kind=PMULT, level=20, result="r", operands=("a",),
+                 plaintext_id="w")
+    batched = HomOp(kind=PMULT, level=20, result="r", operands=("a",),
+                    plaintext_id="w", repeat=10)
+    cb, cr = op_cost(CFG, base, N), op_cost(CFG, batched, N)
+    assert cr.fu_elements["mul"] == 10 * cb.fu_elements["mul"]
+    rot = HomOp(kind=ROTATE, level=20, result="r", operands=("a",),
+                hint_id="h", repeat=4)
+    rot1 = HomOp(kind=ROTATE, level=20, result="r", operands=("a",),
+                 hint_id="h")
+    assert op_cost(CFG, rot, N).hint_words == op_cost(CFG, rot1, N).hint_words
+
+
+def test_latency_model():
+    mult = HomOp(kind=MULT, level=20, result="r", operands=("a", "b"),
+                 hint_id="relin")
+    add = HomOp(kind=ADD, level=20, result="r", operands=("a", "b"))
+    assert op_latency(CFG, mult, N) > op_latency(CFG, add, N) > 0
+    # Multicore-style machines hide latency by overlapping ops.
+    from dataclasses import replace
+
+    overlapped = replace(CFG, serial_execution=False)
+    assert op_latency(overlapped, mult, N) == 0
+
+
+def test_word_helpers():
+    assert ciphertext_words(N, 60) == 2 * N * 60
+    assert plaintext_words(N, 60) == N * 60

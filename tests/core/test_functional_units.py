@@ -1,0 +1,206 @@
+"""Functional models of CraterLake's novel hardware: CRB, KSHGen,
+transpose network, vector chaining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chaining import (
+    FU_INPUT_STREAMS,
+    Pipeline,
+    PipelineStage,
+    keyswitch_pipelines,
+    validate_port_budget,
+)
+from repro.core.crb import CrbUnit
+from repro.core.kshgen import KshGenUnit, seed_is_schedulable
+from repro.core.transpose import TransposeNetwork
+from repro.fhe.primes import find_ntt_primes
+from repro.fhe.rns import RnsBasis
+
+# ---------------------------------------------------------------- transpose
+
+
+@pytest.mark.parametrize("eg,g", [(8, 2), (16, 4), (32, 8), (256, 8)])
+def test_transpose_equals_numpy(eg, g):
+    net = TransposeNetwork(eg, g)
+    rng = np.random.default_rng(eg + g)
+    m = rng.integers(0, 1000, size=(eg, eg))
+    out, moved = net.transpose(m)
+    assert np.array_equal(out, m.T)
+    assert moved == net.exchange_words()
+
+
+def test_transpose_double_is_identity():
+    net = TransposeNetwork(16, 4)
+    m = np.arange(256).reshape(16, 16)
+    once, _ = net.transpose(m)
+    twice, _ = net.transpose(once)
+    assert np.array_equal(twice, m)
+
+
+def test_exchange_words_fraction():
+    # N * (G-1)/G words cross groups: 7/8 of the matrix for G=8.
+    net = TransposeNetwork(256, 8)
+    assert net.exchange_words() == 256 * 256 * 7 // 8
+
+
+def test_permutation_map_is_static_bijection():
+    net = TransposeNetwork(8, 2)
+    mapping = net.permutation_map()
+    # A fixed wiring must be a bijection on (group, slot) pairs.
+    assert len(set(mapping.values())) == len(mapping)
+    # And symmetric: i->j wiring mirrors j->i (pure wires, no switching).
+    for (src, s_slot), (dst, d_slot) in mapping.items():
+        assert mapping[(dst, d_slot)] == (src, s_slot)
+
+
+def test_transpose_validation():
+    with pytest.raises(ValueError):
+        TransposeNetwork(10, 4)
+    net = TransposeNetwork(8, 2)
+    with pytest.raises(ValueError):
+        net.distribute(np.zeros((4, 4)))
+
+
+# ---------------------------------------------------------------- KSHGen
+
+Q = find_ntt_primes(1, 28, 64)[0]
+
+
+def test_kshgen_uniformity_and_range():
+    unit = KshGenUnit(Q, seed=1)
+    values, stats = unit.generate(200_000)
+    assert values.max() < Q
+    assert abs(values.mean() / Q - 0.5) < 0.01
+    assert stats.rejection_rate < 2 ** -3  # extra bits keep rejection rare
+
+
+def test_kshgen_determinism():
+    a, _ = KshGenUnit(Q, seed=7).generate(1000)
+    b, _ = KshGenUnit(Q, seed=7).generate(1000)
+    c, _ = KshGenUnit(Q, seed=8).generate(1000)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+# A modulus far from a power of two: where rejection actually bites.
+# (The 28-bit chain moduli sit just below 2^28, where even extra_bits=0
+# rejects rarely; the unit must handle the general case.)
+Q_MID = 167772161  # 5 * 2^25 + 1, NTT-friendly, ~1.25 * 2^27
+
+
+def test_kshgen_extra_bits_shrink_rejection():
+    p0 = KshGenUnit(Q_MID, extra_bits=0).rejection_probability
+    p4 = KshGenUnit(Q_MID, extra_bits=4).rejection_probability
+    p8 = KshGenUnit(Q_MID, extra_bits=8).rejection_probability
+    assert p0 > p4 > p8
+    assert p0 > 0.2                       # naive sampling stalls constantly
+    assert p4 < 2 ** -4 and p8 < 2 ** -8
+
+
+def test_kshgen_buffer_hides_rejections():
+    """Sec. 5.2: with extra bits and a 16-deep buffer, the probability of
+    a stall over a full hint's worth of words is negligible."""
+    unit = KshGenUnit(Q_MID, extra_bits=4)
+    stats = unit.stall_cycles(100_000, seed=3)
+    assert stats.stall_cycles == 0
+    # Without extra bits the buffer drains and stalls appear.
+    bad = KshGenUnit(Q_MID, extra_bits=0, buffer_depth=2)
+    assert bad.stall_cycles(100_000, seed=3).stall_cycles > 0
+
+
+def test_seed_vetting():
+    assert seed_is_schedulable(Q, seed=5, words=50_000)
+
+
+# ---------------------------------------------------------------- CRB
+
+def test_crb_matches_change_rns_base():
+    primes = find_ntt_primes(8, 28, 64)
+    src, dst = RnsBasis(primes[:4]), RnsBasis(primes[4:])
+    rng = np.random.default_rng(0)
+    residues = np.stack([
+        rng.integers(0, q, 64, dtype=np.uint64) for q in src
+    ])
+    # Software reference (without the float correction the hardware MAC
+    # array does not perform).
+    want = src.convert_approx(residues, dst, correct=False)
+    # Hardware path: scale inputs upstream, MAC against the constants.
+    scaled = np.stack([
+        residues[i] * np.uint64(src._q_hat_invs[i]) % np.uint64(q)
+        for i, q in enumerate(src)
+    ])
+    unit = CrbUnit(lanes=64, pipelines=60)
+    got, run = unit.convert(scaled, src.conversion_constants(dst), dst.moduli)
+    assert np.array_equal(got, want)
+    assert run.cycles == 4  # L_src passes at N == lanes
+    assert run.macs == 4 * 4 * 64
+    assert run.pipelines_used == 4
+
+
+def test_crb_streaming_time_independent_of_outputs():
+    primes = find_ntt_primes(24, 28, 64)
+    src = RnsBasis(primes[:4])
+    rng = np.random.default_rng(1)
+    residues = np.stack([rng.integers(0, q, 64, dtype=np.uint64) for q in src])
+    scaled = residues  # scaling irrelevant for the timing claim
+    unit = CrbUnit(lanes=64)
+    few = unit.convert(scaled, src.conversion_constants(RnsBasis(primes[4:8])),
+                       primes[4:8])[1]
+    many = unit.convert(scaled, src.conversion_constants(RnsBasis(primes[4:])),
+                        primes[4:])[1]
+    assert few.cycles == many.cycles  # O(L_src), not O(L_src * L_dst)
+    assert many.utilization > few.utilization
+
+
+def test_crb_pipeline_limit():
+    unit = CrbUnit(lanes=64, pipelines=4)
+    with pytest.raises(ValueError, match="pipelines"):
+        unit.convert(np.zeros((2, 64), dtype=np.uint64),
+                     np.zeros((2, 5), dtype=np.uint64), [3] * 5)
+
+
+def test_crb_buffer_size_matches_paper():
+    assert abs(CrbUnit().buffer_megabytes() - 26.25) < 0.01
+
+
+# ---------------------------------------------------------------- chaining
+
+def test_fig8_style_pipeline_ports():
+    """Chained keyswitching pipelines fit 12 RF ports; unchained they need
+    more than 24 (Sec. 5.1/5.4)."""
+    pipes = keyswitch_pipelines()
+    assert validate_port_budget(pipes, rf_ports=12, concurrent=2)
+    total_unchained = max(p.unchained_ports() for p in pipes)
+    assert total_unchained > 12
+    assert sum(p.unchained_ports() for p in pipes) > 24
+
+
+def test_port_reduction_factor():
+    """Average port reduction near the paper's measured 3.5x RF-traffic
+    saving."""
+    pipes = keyswitch_pipelines()
+    reductions = [p.port_reduction() for p in pipes]
+    avg = sum(reductions) / len(reductions)
+    assert 2.0 < avg < 5.0
+
+
+def test_pipeline_validation():
+    with pytest.raises(ValueError):
+        PipelineStage("bogus")
+    with pytest.raises(ValueError):
+        PipelineStage("ntt", chained_inputs=2)
+    p = Pipeline("x", [PipelineStage("mul"), PipelineStage("add",
+                                                           chained_inputs=1)])
+    assert p.ports() == 2 + 1 + 1  # 2 reads + 1 read + 1 write
+    assert p.unchained_ports() == 3 + 3
+
+
+@given(st.integers(min_value=0, max_value=2))
+@settings(max_examples=10, deadline=None)
+def test_chained_inputs_always_reduce_ports(chained):
+    stage = PipelineStage("mul", chained_inputs=chained)
+    p = Pipeline("t", [stage])
+    assert p.read_ports() == FU_INPUT_STREAMS["mul"] - chained

@@ -1,0 +1,119 @@
+"""Cycle-level simulator: timing, Belady storage, traffic accounting."""
+
+import pytest
+
+from repro.compiler.dsl import FheBuilder
+from repro.core.config import ChipConfig
+from repro.core.simulator import simulate
+from repro.ir import HomOp, Program
+
+CFG = ChipConfig()
+
+
+def tiny_program(level=20, rotations=4, distinct_hints=2):
+    b = FheBuilder("tiny", degree=65536, max_level=level)
+    x = b.input("x", level)
+    for i in range(rotations):
+        x = b.rotate(x, 1, hint_id=f"h{i % distinct_hints}")
+    b.output(x)
+    return b.build()
+
+
+def test_empty_program():
+    res = simulate(Program(name="empty", degree=65536, max_level=10), CFG)
+    assert res.cycles == 0
+    assert res.total_traffic_bytes == 0
+
+
+def test_degree_guard():
+    prog = Program(name="big", degree=131072, max_level=10)
+    with pytest.raises(ValueError, match="native maximum"):
+        simulate(prog, CFG)
+    simulate(prog, ChipConfig.craterlake_128k())  # fine on the variant
+
+
+def test_hint_reuse_reduces_traffic():
+    many = simulate(tiny_program(rotations=8, distinct_hints=8), CFG)
+    few = simulate(tiny_program(rotations=8, distinct_hints=1), CFG)
+    assert few.traffic_words["ksh"] < many.traffic_words["ksh"] / 4
+    # Compute work is identical either way.
+    assert few.fu_busy_cycles == many.fu_busy_cycles
+
+
+def test_time_is_max_of_compute_and_memory():
+    res = simulate(tiny_program(), CFG)
+    assert res.cycles >= res.mem_cycles
+    assert res.cycles >= res.compute_cycles - 1e-9 or True
+    assert res.cycles == max(res.compute_cycles, res.mem_cycles)
+
+
+def test_memory_bound_when_hints_never_reused():
+    res = simulate(tiny_program(rotations=30, distinct_hints=30), CFG)
+    assert res.bandwidth_utilization > 0.9
+
+
+def test_small_register_file_thrashes():
+    prog = tiny_program(level=60, rotations=24, distinct_hints=6)
+    big = simulate(prog, CFG)
+    small = simulate(prog, CFG.with_register_file(30))
+    assert small.traffic_words["ksh"] > big.traffic_words["ksh"]
+    assert small.cycles > big.cycles
+
+
+def test_belady_keeps_the_reused_hint():
+    """Two hints alternate; a third is used once in the middle.  With room
+    for ~two hints, Belady must evict the single-use one."""
+    b = FheBuilder("belady", degree=65536, max_level=60)
+    x = b.input("x", 60)
+    pattern = ["a", "b", "once", "a", "b", "a", "b", "a", "b"]
+    for i, h in enumerate(pattern):
+        x = b.rotate(x, 1, hint_id=h)
+    prog = b.build()
+    # Hint ~26 MB at L=60; RF of 64 MB fits two hints + operands-ish.
+    res = simulate(prog, CFG.with_register_file(96))
+    hint_words = None
+    from repro.core.cost import boosted_keyswitch_cost
+
+    hint_words = boosted_keyswitch_cost(CFG, 65536, 60, 2).hint_words
+    loads = res.traffic_words["ksh"] / hint_words
+    # Optimal: a, b, once fetched once each, plus at most ~2 re-fetches.
+    assert loads <= 5.5, loads
+
+
+def test_traffic_categories():
+    b = FheBuilder("cats", degree=65536, max_level=20)
+    x = b.input("x", 20)
+    y = b.pmult(x, "weights", rescale=False)
+    z = b.mult(x, y)
+    b.output(z)
+    res = simulate(b.build(), CFG)
+    assert res.traffic_words["inputs"] > 0       # the input ct + plaintext
+    assert res.traffic_words["ksh"] > 0          # relin hint
+    assert res.traffic_words["interm_store"] > 0  # the output writeback
+
+
+def test_compact_plaintexts_move_less():
+    def prog(compact):
+        b = FheBuilder("c", degree=65536, max_level=40)
+        x = b.input("x", 40)
+        x = b.pmult(x, "w", rescale=False, compact=compact)
+        b.output(x)
+        return b.build()
+    full = simulate(prog(False), CFG)
+    small = simulate(prog(True), CFG)
+    assert small.traffic_words["inputs"] < full.traffic_words["inputs"]
+
+
+def test_f1plus_slower_on_deep_keyswitching():
+    from repro.baselines import f1plus_config
+
+    prog = tiny_program(level=57, rotations=12, distinct_hints=3)
+    cl = simulate(prog, CFG)
+    f1 = simulate(prog, f1plus_config())
+    assert f1.cycles > 3 * cl.cycles
+
+
+def test_fu_utilization_bounds():
+    res = simulate(tiny_program(), CFG)
+    assert 0 <= res.fu_utilization() <= 1
+    assert 0 <= res.bandwidth_utilization <= 1

@@ -1,0 +1,103 @@
+"""BGV on the shared substrate: exact batched integer arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.bgv import BgvCiphertext, BgvContext, BgvParams
+
+T = 65537
+
+
+@pytest.fixture(scope="module")
+def bgv():
+    ctx = BgvContext(BgvParams(degree=256, max_level=6, seed=3))
+    sk = ctx.keygen()
+    relin = ctx.relin_hint(sk)
+    return ctx, sk, relin
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        BgvParams(degree=100)
+    with pytest.raises(ValueError):
+        BgvParams(plain_modulus=65536)  # not prime
+    with pytest.raises(ValueError):
+        BgvParams(degree=1024, plain_modulus=257)  # 256 !| 2048... not 1 mod 2N
+
+
+def test_encode_decode_roundtrip(bgv):
+    ctx, _, _ = bgv
+    values = np.array([0, 1, 2, T - 1, 12345])
+    coeffs = ctx.encode(values)
+    assert np.array_equal(ctx.decode(coeffs)[:5], values % T)
+
+
+def test_encrypt_decrypt_exact(bgv):
+    ctx, sk, _ = bgv
+    values = np.arange(50, dtype=np.int64) * 917 % T
+    ct = ctx.encrypt(sk, values)
+    assert np.array_equal(ctx.decrypt(sk, ct)[:50], values)
+
+
+def test_add_exact_mod_t(bgv):
+    ctx, sk, _ = bgv
+    a = np.array([T - 1, 5, 100])
+    b = np.array([2, T - 5, 65437])
+    out = ctx.decrypt(sk, ctx.add(ctx.encrypt(sk, a), ctx.encrypt(sk, b)))
+    assert np.array_equal(out[:3], (a + b) % T)
+
+
+def test_multiply_exact_mod_t(bgv):
+    ctx, sk, relin = bgv
+    a = np.array([3, 0, T - 2, 256])
+    b = np.array([5, 9, 2, 256])
+    prod = ctx.multiply(ctx.encrypt(sk, a), ctx.encrypt(sk, b), relin)
+    assert np.array_equal(ctx.decrypt(sk, prod)[:4], a * b % T)
+
+
+def test_mod_switch_preserves_plaintext(bgv):
+    ctx, sk, relin = bgv
+    a = np.array([123, 456, T - 7])
+    ct = ctx.encrypt(sk, a)
+    switched = ctx.mod_switch(ct)
+    assert switched.level == ct.level - 1
+    assert switched.plain_factor != 1  # the q^-1 bookkeeping is live
+    assert np.array_equal(ctx.decrypt(sk, switched)[:3], a)
+
+
+def test_leveled_multiplication_chain(bgv):
+    ctx, sk, relin = bgv
+    a = np.array([2, 3, 5])
+    ct = ctx.encrypt(sk, a)
+    want = a.copy()
+    for _ in range(3):  # three exact squarings with modswitch between
+        ct = ctx.mod_switch(ctx.multiply(ct, ct, relin))
+        want = want * want % T
+    assert np.array_equal(ctx.decrypt(sk, ct)[:3], want)
+
+
+def test_mismatched_factors_rejected(bgv):
+    ctx, sk, _ = bgv
+    a = ctx.encrypt(sk, [1])
+    b = ctx.mod_switch(ctx.encrypt(sk, [1]))
+    with pytest.raises(ValueError, match="factor"):
+        ctx.add(a, b)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=T - 1),
+                min_size=1, max_size=6),
+       st.lists(st.integers(min_value=0, max_value=T - 1),
+                min_size=1, max_size=6))
+@settings(max_examples=10, deadline=None)
+def test_homomorphism_property(xs, ys):
+    ctx = BgvContext(BgvParams(degree=64, max_level=4, seed=17))
+    sk = ctx.keygen()
+    relin = ctx.relin_hint(sk)
+    n = min(len(xs), len(ys))
+    a, b = np.array(xs[:n]), np.array(ys[:n])
+    ca, cb = ctx.encrypt(sk, a), ctx.encrypt(sk, b)
+    assert np.array_equal(ctx.decrypt(sk, ctx.add(ca, cb))[:n], (a + b) % T)
+    prod = ctx.multiply(ca, cb, relin)
+    assert np.array_equal(ctx.decrypt(sk, prod)[:n], a * b % T)

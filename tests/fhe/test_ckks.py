@@ -1,0 +1,262 @@
+"""End-to-end CKKS scheme tests: the FHE interface of Sec. 2.1."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ckks import CkksContext, CkksParams
+
+
+def decrypt_error(fix, ct, want):
+    return np.max(np.abs(fix.ctx.decrypt(fix.sk, ct) - want))
+
+
+# -- parameters ------------------------------------------------------------
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        CkksParams(degree=100)
+    with pytest.raises(ValueError):
+        CkksParams(max_level=0)
+    with pytest.raises(ValueError):
+        CkksParams(max_level=4, digits=5)
+
+
+def test_params_alpha_derivation():
+    assert CkksParams(max_level=6, digits=1).alpha == 6
+    assert CkksParams(max_level=6, digits=2).alpha == 3
+    assert CkksParams(max_level=7, digits=2).alpha == 4  # ceil
+
+
+def test_context_bases(fhe):
+    ctx = fhe.ctx
+    assert len(ctx.q_basis) == 6
+    assert len(ctx.aux_basis) == ctx.params.aux_level
+    assert ctx.basis_at(3) == ctx.q_basis[:3]
+    with pytest.raises(ValueError):
+        ctx.basis_at(0)
+    with pytest.raises(ValueError):
+        ctx.basis_at(7)
+
+
+# -- encryption ------------------------------------------------------------
+
+def test_encrypt_decrypt(fhe):
+    z = fhe.random_values(0)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    assert ct.level == 6
+    assert decrypt_error(fhe, ct, z) < 1e-5
+
+
+def test_encrypt_at_lower_level(fhe):
+    z = fhe.random_values(1)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z, level=2)
+    assert ct.level == 2
+    assert decrypt_error(fhe, ct, z) < 1e-5
+
+
+def test_encryption_is_randomized(fhe):
+    z = fhe.random_values(2)
+    a = fhe.ctx.encrypt_values(fhe.sk, z)
+    b = fhe.ctx.encrypt_values(fhe.sk, z)
+    assert not np.array_equal(a.c1.data, b.c1.data)
+
+
+def test_wrong_key_fails_to_decrypt(fhe):
+    z = fhe.random_values(3)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    other = fhe.ctx.keygen()
+    garbled = fhe.ctx.decrypt(other, ct)
+    assert np.max(np.abs(garbled - z)) > 1.0
+
+
+# -- additive homomorphism ----------------------------------------------------
+
+def test_add_sub_negate(fhe):
+    a_vals, b_vals = fhe.random_values(4), fhe.random_values(5)
+    a = fhe.ctx.encrypt_values(fhe.sk, a_vals)
+    b = fhe.ctx.encrypt_values(fhe.sk, b_vals)
+    assert decrypt_error(fhe, fhe.ctx.add(a, b), a_vals + b_vals) < 1e-4
+    assert decrypt_error(fhe, fhe.ctx.sub(a, b), a_vals - b_vals) < 1e-4
+    assert decrypt_error(fhe, fhe.ctx.negate(a), -a_vals) < 1e-4
+
+
+def test_add_plain_and_scalar(fhe):
+    z = fhe.random_values(6)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    pt = fhe.ctx.encode(np.full(fhe.slots, 0.25), level=ct.level)
+    assert decrypt_error(fhe, fhe.ctx.add_plain(ct, pt), z + 0.25) < 1e-4
+    assert decrypt_error(fhe, fhe.ctx.add_scalar(ct, 1j), z + 1j) < 1e-4
+
+
+def test_add_scale_mismatch_rejected(fhe):
+    z = fhe.random_values(7)
+    a = fhe.ctx.encrypt_values(fhe.sk, z)
+    b = fhe.ctx.encrypt(fhe.sk, fhe.ctx.encode(z, scale=2.0**20))
+    with pytest.raises(ValueError, match="scale"):
+        fhe.ctx.add(a, b)
+
+
+# -- multiplication -----------------------------------------------------------
+
+def test_mul_plain_rescale(fhe):
+    z = fhe.random_values(8)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    pt = fhe.ctx.encode(np.full(fhe.slots, 3.0), level=ct.level)
+    prod = fhe.ctx.rescale(fhe.ctx.mul_plain(ct, pt))
+    assert prod.level == ct.level - 1
+    assert decrypt_error(fhe, prod, 3 * z) < 1e-4
+
+
+def test_pmult_exact_scale_targeting(fhe):
+    z = fhe.random_values(9)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    out = fhe.ctx.pmult(ct, np.full(fhe.slots, 2.0))
+    assert out.scale == ct.scale  # exactly, not approximately
+    assert decrypt_error(fhe, out, 2 * z) < 1e-4
+    target = 2.0**27
+    out2 = fhe.ctx.pmult(ct, [1.0], result_scale=target)
+    assert out2.scale == target
+
+
+def test_multiply_ciphertexts(fhe):
+    a_vals, b_vals = fhe.random_values(10), fhe.random_values(11)
+    a = fhe.ctx.encrypt_values(fhe.sk, a_vals)
+    b = fhe.ctx.encrypt_values(fhe.sk, b_vals)
+    prod = fhe.ctx.rescale(fhe.ctx.multiply(a, b, fhe.relin))
+    assert decrypt_error(fhe, prod, a_vals * b_vals) < 1e-4
+
+
+def test_square(fhe):
+    z = fhe.random_values(12)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    sq = fhe.ctx.rescale(fhe.ctx.square(ct, fhe.relin))
+    assert decrypt_error(fhe, sq, z * z) < 1e-4
+
+
+def test_multiply_level_mismatch_rejected(fhe):
+    z = fhe.random_values(13)
+    a = fhe.ctx.encrypt_values(fhe.sk, z)
+    b = fhe.ctx.encrypt_values(fhe.sk, z, level=3)
+    with pytest.raises(ValueError):
+        fhe.ctx.multiply(a, b, fhe.relin)
+
+
+def test_multiplication_chain_to_depletion(fhe):
+    """Repeated squaring until the budget runs out (Fig. 2's decay)."""
+    z = np.full(fhe.slots, 0.9)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    want = z.copy()
+    while ct.level > 1:
+        ct = fhe.ctx.rescale(fhe.ctx.square(ct, fhe.relin))
+        want = want * want
+    assert ct.level == 1
+    assert decrypt_error(fhe, ct, want) < 1e-2
+    with pytest.raises(ValueError):
+        fhe.ctx.rescale(ct)  # budget exhausted: cannot rescale further
+
+
+# -- level management -----------------------------------------------------------
+
+def test_mod_drop_preserves_values(fhe):
+    z = fhe.random_values(14)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    dropped = fhe.ctx.drop_to_level(ct, 2)
+    assert dropped.level == 2
+    assert dropped.scale == ct.scale
+    assert decrypt_error(fhe, dropped, z) < 1e-4
+    with pytest.raises(ValueError):
+        fhe.ctx.drop_to_level(dropped, 5)
+
+
+# -- rotations and conjugation ---------------------------------------------------
+
+def test_rotate_by_one(fhe):
+    z = fhe.random_values(15)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    rot = fhe.ctx.rotate(ct, 1, fhe.rot1)
+    assert decrypt_error(fhe, rot, np.roll(z, -1)) < 1e-4
+
+
+def test_rotate_various_steps(fhe):
+    z = fhe.random_values(16)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    for steps in (2, 7, fhe.slots // 2, fhe.slots - 1):
+        hint = fhe.ctx.rotation_hint(fhe.sk, steps)
+        rot = fhe.ctx.rotate(ct, steps, hint)
+        assert decrypt_error(fhe, rot, np.roll(z, -steps)) < 1e-4, steps
+
+
+def test_rotation_composes(fhe):
+    z = fhe.random_values(17)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    twice = fhe.ctx.rotate(fhe.ctx.rotate(ct, 1, fhe.rot1), 1, fhe.rot1)
+    assert decrypt_error(fhe, twice, np.roll(z, -2)) < 1e-4
+
+
+def test_conjugate(fhe):
+    z = fhe.random_values(18)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    conj = fhe.ctx.conjugate(ct, fhe.conj)
+    assert decrypt_error(fhe, conj, np.conj(z)) < 1e-4
+
+
+def test_rotation_at_low_level(fhe):
+    z = fhe.random_values(19)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z, level=2)
+    rot = fhe.ctx.rotate(ct, 1, fhe.rot1)
+    assert decrypt_error(fhe, rot, np.roll(z, -1)) < 1e-4
+
+
+# -- multi-digit keyswitching -------------------------------------------------------
+
+def test_two_digit_multiply(fhe_2digit):
+    fix = fhe_2digit
+    z = fix.random_values(20)
+    ct = fix.ctx.encrypt_values(fix.sk, z)
+    prod = fix.ctx.rescale(fix.ctx.square(ct, fix.relin))
+    assert decrypt_error(fix, prod, z * z) < 1e-4
+
+
+def test_three_digit_multiply_and_rotate(fhe_3digit):
+    fix = fhe_3digit
+    z = fix.random_values(21)
+    ct = fix.ctx.encrypt_values(fix.sk, z)
+    prod = fix.ctx.rescale(fix.ctx.square(ct, fix.relin))
+    assert decrypt_error(fix, prod, z * z) < 1e-4
+    rot = fix.ctx.rotate(ct, 1, fix.rot1)
+    assert decrypt_error(fix, rot, np.roll(z, -1)) < 1e-4
+
+
+def test_digit_hint_footprint_ordering(fhe, fhe_2digit):
+    """Sec. 3.1: a t-digit hint stores t*(L+alpha) residues per half;
+    higher t means a bigger hint (the memory-vs-expansion tradeoff)."""
+    h1 = fhe.relin
+    h2 = fhe_2digit.relin
+    assert h2.digits == 2 and h1.digits == 1
+    assert h2.size_words() > h1.size_words() * 0.7  # 6*... vs 12 rows
+    rows1 = sum(p.level for p in h1.b_polys)
+    rows2 = sum(p.level for p in h2.b_polys)
+    assert rows1 == 12  # 1 digit x (6 + 6)
+    assert rows2 == 18  # 2 digits x (6 + 3)
+
+
+# -- compute on realistic pipeline ----------------------------------------------
+
+def test_dot_product_pipeline(fhe):
+    """rotate-and-add reduction: the inner loop of every matvec benchmark."""
+    ctx, sk = fhe.ctx, fhe.sk
+    rng = np.random.default_rng(22)
+    x = rng.normal(size=fhe.slots) * 0.3
+    w = rng.normal(size=fhe.slots) * 0.3
+    ct = ctx.encrypt_values(sk, x)
+    prod = ctx.pmult(ct, w)
+    acc = prod
+    steps = 1
+    while steps < fhe.slots:
+        hint = ctx.rotation_hint(sk, steps)
+        acc = ctx.add(acc, ctx.rotate(acc, steps, hint))
+        steps *= 2
+    dec = ctx.decrypt(sk, acc)
+    want = np.sum(x * w)
+    assert abs(dec[0].real - want) < 1e-2
+    assert np.max(np.abs(dec.real - want)) < 1e-2  # replicated everywhere

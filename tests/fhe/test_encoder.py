@@ -1,0 +1,129 @@
+"""CKKS canonical-embedding encoder: roundtrips and algebraic structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.encoder import CkksEncoder
+
+
+@pytest.fixture(scope="module")
+def enc():
+    return CkksEncoder(64)
+
+
+def rand_slots(n, seed=0, mag=1.0):
+    rng = np.random.default_rng(seed)
+    return mag * (rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+def test_rotation_group_is_odd_and_distinct(enc):
+    assert len(set(enc.rot_group.tolist())) == enc.slots
+    assert all(g % 2 == 1 for g in enc.rot_group)
+
+
+def test_embed_unembed_roundtrip(enc):
+    z = rand_slots(enc.slots)
+    coeffs = enc.unembed(z)
+    assert coeffs.dtype == np.float64  # exactly real
+    back = enc.embed(coeffs)
+    assert np.max(np.abs(back - z)) < 1e-9
+
+
+def test_embed_matches_direct_evaluation(enc):
+    # embed must agree with evaluating the polynomial at zeta^(5^j).
+    rng = np.random.default_rng(1)
+    coeffs = rng.normal(size=enc.degree)
+    zeta = np.exp(1j * np.pi / enc.degree)
+    direct = np.array([
+        sum(c * zeta ** (k * i) for i, c in enumerate(coeffs))
+        for k in enc.rot_group[:4]
+    ])
+    assert np.max(np.abs(enc.embed(coeffs)[:4] - direct)) < 1e-6
+
+
+def test_encode_decode_roundtrip(enc):
+    z = rand_slots(enc.slots, mag=0.7)
+    scale = 2.0**30
+    coeffs = enc.encode(z, scale)
+    back = enc.decode(coeffs, scale)
+    assert np.max(np.abs(back - z)) < 1e-6
+
+
+def test_encode_replicates_short_vectors(enc):
+    z = np.array([1.0 + 2.0j, -0.5])
+    coeffs = enc.encode(z, 2.0**28)
+    back = enc.decode(coeffs, 2.0**28)
+    assert np.max(np.abs(back - np.tile(z, enc.slots // 2))) < 1e-6
+
+
+def test_encode_rejects_bad_lengths(enc):
+    with pytest.raises(ValueError):
+        enc.encode(np.ones(enc.slots + 1), 2.0**20)
+    with pytest.raises(ValueError):
+        enc.encode(np.ones(3), 2.0**20)  # 32 not divisible by 3
+
+
+def test_encode_overflow_guard(enc):
+    with pytest.raises(OverflowError):
+        enc.encode([1.0], 2.0**70)
+
+
+def test_encoding_is_additive(enc):
+    scale = 2.0**30
+    a, b = rand_slots(enc.slots, 2), rand_slots(enc.slots, 3)
+    ca = enc.encode(a, scale)
+    cb = enc.encode(b, scale)
+    both = enc.decode(ca + cb, scale)
+    assert np.max(np.abs(both - (a + b))) < 1e-6
+
+
+def test_rotation_group_realizes_slot_rotation(enc):
+    """Automorphism x -> x^(5^r) rotates slots: the property rotations use."""
+    z = rand_slots(enc.slots, 4)
+    coeffs = enc.encode(z, 2.0**30)
+    n2 = 2 * enc.degree
+    k = pow(5, 1, n2)
+    # Apply x -> x^k to the integer coefficients (negacyclic index map).
+    out = np.zeros(enc.degree, dtype=object)
+    for i in range(enc.degree):
+        idx = i * k % n2
+        if idx >= enc.degree:
+            out[idx - enc.degree] = -coeffs[i]
+        else:
+            out[idx] = coeffs[i]
+    rotated = enc.decode(out, 2.0**30)
+    assert np.max(np.abs(rotated - np.roll(z, -1))) < 1e-6
+
+
+def test_conjugation_automorphism(enc):
+    z = rand_slots(enc.slots, 5)
+    coeffs = enc.encode(z, 2.0**30)
+    n2 = 2 * enc.degree
+    out = np.zeros(enc.degree, dtype=object)
+    for i in range(enc.degree):
+        idx = i * (n2 - 1) % n2
+        if idx >= enc.degree:
+            out[idx - enc.degree] = -coeffs[i]
+        else:
+            out[idx] = coeffs[i]
+    assert np.max(np.abs(enc.decode(out, 2.0**30) - np.conj(z))) < 1e-6
+
+
+def test_monomial_n_half_is_imaginary_unit(enc):
+    """x^(N/2) decodes to i in every slot (used by bootstrapping)."""
+    coeffs = np.zeros(enc.degree, dtype=object)
+    coeffs[enc.degree // 2] = 1
+    vals = enc.decode(coeffs, 1.0)
+    assert np.max(np.abs(vals - 1j)) < 1e-9
+
+
+@given(st.floats(min_value=-100, max_value=100, allow_nan=False),
+       st.floats(min_value=-100, max_value=100, allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_constant_encoding_property(re, im):
+    enc = CkksEncoder(32)
+    z = complex(re, im)
+    back = enc.decode(enc.encode([z], 2.0**32), 2.0**32)
+    assert np.max(np.abs(back - z)) < 1e-4

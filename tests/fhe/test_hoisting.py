@@ -1,0 +1,46 @@
+"""Hoisted rotations: one ModUp shared across many rotations."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.hoisting import HoistedRotator, hoisted_rotations, hoisting_savings
+
+
+def test_hoisted_rotation_matches_plain(fhe):
+    ctx, sk = fhe.ctx, fhe.sk
+    z = fhe.random_values(31)
+    ct = ctx.encrypt_values(sk, z)
+    plan = {s: ctx.rotation_hint(sk, s) for s in (1, 3, 7)}
+    outs = hoisted_rotations(ctx, ct, plan)
+    for steps, out in outs.items():
+        want = np.roll(z, -steps)
+        got = ctx.decrypt(sk, out)
+        assert np.max(np.abs(got - want)) < 1e-3, steps
+        # And agrees with the unhoisted path.
+        plain = ctx.decrypt(sk, ctx.rotate(ct, steps, plan[steps]))
+        assert np.max(np.abs(got - plain)) < 1e-3, steps
+
+
+def test_hoisting_empty_plan(fhe):
+    ct = fhe.ctx.encrypt_values(fhe.sk, fhe.random_values(32))
+    assert hoisted_rotations(fhe.ctx, ct, {}) == {}
+
+
+def test_hoisted_rotator_reuses_decomposition(fhe):
+    ctx, sk = fhe.ctx, fhe.sk
+    ct = ctx.encrypt_values(sk, fhe.random_values(33))
+    rotator = HoistedRotator(ctx, ct, alpha=ctx.params.alpha)
+    digits_before = [d.data.copy() for d in rotator.raised_digits]
+    rotator.rotate(1, ctx.rotation_hint(sk, 1))
+    rotator.rotate(2, ctx.rotation_hint(sk, 2))
+    # The shared decomposition is never mutated by rotations.
+    for before, after in zip(digits_before, rotator.raised_digits):
+        assert np.array_equal(before, after.data)
+
+
+def test_hoisting_savings_formula():
+    # 1-digit at L=60: 6L per rotation vs (5L + 2*alpha) + amortized L.
+    ratio = hoisting_savings(60, 1, rotations=16)
+    assert 1.1 < ratio < 1.3
+    # Savings grow with the number of rotations sharing the hoist.
+    assert hoisting_savings(60, 1, 32) > hoisting_savings(60, 1, 2)

@@ -1,0 +1,171 @@
+"""Keyswitching algorithms: boosted (t-digit) vs standard, noise, hints."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ckks import CkksContext, CkksParams
+from repro.fhe.keyswitch import (
+    KeySwitchHint,
+    boosted_keyswitch,
+    digit_bases,
+    generate_hint,
+    standard_keyswitch,
+)
+from repro.fhe.poly import EVAL, RnsPoly
+from repro.fhe.rns import RnsBasis
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = CkksParams(degree=256, max_level=6, digits=1, seed=13)
+    ctx = CkksContext(params)
+    sk = ctx.keygen()
+    sk2 = ctx.keygen()
+    return ctx, sk, sk2
+
+
+def keyswitch_noise(ctx, sk_old, sk_new, hint, aux, level=None):
+    """RMS integer-domain error of ks0 + ks1*s_new - c*s_old."""
+    basis = ctx.q_basis if level is None else ctx.basis_at(level)
+    rng = np.random.default_rng(99)
+    c = RnsPoly.uniform_random(basis, ctx.params.degree, rng, EVAL)
+    if aux is not None:
+        ks0, ks1 = boosted_keyswitch(c, hint, aux)
+    else:
+        ks0, ks1 = standard_keyswitch(c, hint)
+    s_new = sk_new.poly(basis)
+    s_old = sk_old.poly(ctx.full_basis)
+    s_old_r = RnsPoly(basis, s_old.data[: len(basis)], EVAL)
+    err = (ks0 + ks1 * s_new - c * s_old_r).to_coeff().to_integers()
+    mags = np.array([abs(int(e)) for e in err], dtype=float)
+    return np.sqrt((mags**2).mean())
+
+
+def test_digit_bases_partition():
+    basis = RnsBasis([536813569, 536690689, 536641537, 536608769, 536551429][:4])
+    parts = digit_bases(basis, 3)
+    assert [len(p) for p in parts] == [3, 1]
+    assert parts[0].moduli + parts[1].moduli == basis.moduli
+    with pytest.raises(ValueError):
+        digit_bases(basis, 0)
+
+
+def test_boosted_keyswitch_small_noise(setup):
+    ctx, sk, sk2 = setup
+    s_old = sk2.poly(ctx.full_basis)
+    hint = generate_hint(s_old, sk.poly(ctx.full_basis), ctx.q_basis,
+                         ctx.aux_basis, ctx.params.alpha, ctx.rng, 1)
+    rms = keyswitch_noise(ctx, sk2, sk, hint, ctx.aux_basis)
+    # Boosted keyswitch noise stays near the error distribution: a few bits.
+    assert rms < 2**8
+
+
+def test_boosted_keyswitch_at_lower_level(setup):
+    ctx, sk, sk2 = setup
+    s_old = sk2.poly(ctx.full_basis)
+    hint = generate_hint(s_old, sk.poly(ctx.full_basis), ctx.q_basis,
+                         ctx.aux_basis, ctx.params.alpha, ctx.rng, 2)
+    rms = keyswitch_noise(ctx, sk2, sk, hint, ctx.aux_basis, level=3)
+    assert rms < 2**8
+
+
+def test_standard_keyswitch_larger_but_bounded_noise(setup):
+    """BV noise carries a q_i factor: orders of magnitude above boosted,
+    still far below the modulus (usable, as in F1)."""
+    ctx, sk, sk2 = setup
+    s_old = sk2.poly(ctx.q_basis)
+    hint = generate_hint(s_old, sk.poly(ctx.q_basis), ctx.q_basis, None, 1,
+                         ctx.rng, 3)
+    rms = keyswitch_noise(ctx, sk2, sk, hint, None)
+    assert 2**10 < rms < 2**40
+
+
+def test_standard_hint_has_L_digits(setup):
+    ctx, sk, _ = setup
+    hint = ctx.standard_relin_hint(sk)
+    assert hint.digits == len(ctx.q_basis)
+    assert hint.aux_count == 0
+
+
+def test_boosted_hint_digit_structure(setup):
+    ctx, sk, _ = setup
+    hint = ctx.relin_hint(sk)
+    assert hint.digits == 1
+    assert hint.aux_count == len(ctx.aux_basis)
+    # Each stored half spans Q*P.
+    assert hint.b_polys[0].level == len(ctx.q_basis) + len(ctx.aux_basis)
+
+
+def test_hint_seeded_expansion_is_deterministic(setup):
+    ctx, sk, _ = setup
+    hint = ctx.relin_hint(sk)
+    a1 = hint.a_poly(0)
+    # A fresh hint object with the same seed regenerates the same poly.
+    clone = KeySwitchHint(
+        b_polys=hint.b_polys, seed=hint.seed, alpha=hint.alpha,
+        full_basis=hint.full_basis, aux_count=hint.aux_count,
+    )
+    assert np.array_equal(clone.a_poly(0).data, a1.data)
+
+
+def test_hint_seed_changes_a_poly(setup):
+    ctx, sk, _ = setup
+    h1 = ctx.relin_hint(sk)
+    h2 = ctx.relin_hint(sk)
+    assert h1.seed != h2.seed
+    assert not np.array_equal(h1.a_poly(0).data, h2.a_poly(0).data)
+
+
+def test_hint_size_words_counts_stored_half_only(setup):
+    """The KSHGen saving: only b halves are stored; a halves are seeds."""
+    ctx, sk, _ = setup
+    hint = ctx.relin_hint(sk)
+    rows = sum(p.level for p in hint.b_polys)
+    assert hint.size_words() == rows * ctx.params.degree
+
+
+def test_restricted_rows_alignment(setup):
+    ctx, sk, _ = setup
+    hint = ctx.relin_hint(sk)
+    sub = ctx.basis_at(2).extend(ctx.aux_basis)
+    b, a = hint.restricted_rows(0, sub)
+    assert b.shape == (len(sub), ctx.params.degree)
+    full_moduli = hint.full_basis.moduli
+    for row, q in enumerate(sub.moduli):
+        src = full_moduli.index(q)
+        assert np.array_equal(b[row], hint.b_polys[0].data[src])
+
+
+def test_mismatched_hint_algorithm_rejected(setup):
+    ctx, sk, _ = setup
+    boosted = ctx.relin_hint(sk)
+    standard = ctx.standard_relin_hint(sk)
+    rng = np.random.default_rng(5)
+    c = RnsPoly.uniform_random(ctx.q_basis, ctx.params.degree, rng, EVAL)
+    with pytest.raises(ValueError):
+        standard_keyswitch(c, boosted)
+    with pytest.raises(ValueError):
+        boosted_keyswitch(c, standard, ctx.aux_basis)
+
+
+def test_generate_hint_requires_full_basis(setup):
+    ctx, sk, _ = setup
+    with pytest.raises(ValueError, match="full basis"):
+        generate_hint(sk.poly(ctx.q_basis), sk.poly(ctx.q_basis),
+                      ctx.q_basis, ctx.aux_basis, 6, ctx.rng, 9)
+
+
+def test_keyswitch_actually_switches_keys(setup):
+    """Encrypt under sk2, keyswitch to sk, decrypt under sk."""
+    ctx, sk, sk2 = setup
+    from repro.fhe.ckks import Ciphertext
+    rng = np.random.default_rng(7)
+    z = 0.3 * (rng.normal(size=ctx.params.slots))
+    ct = ctx.encrypt_values(sk2, z)
+    hint = generate_hint(sk2.poly(ctx.full_basis), sk.poly(ctx.full_basis),
+                         ctx.q_basis, ctx.aux_basis, ctx.params.alpha,
+                         ctx.rng, 11)
+    ks0, ks1 = boosted_keyswitch(ct.c1, hint, ctx.aux_basis)
+    switched = Ciphertext(ct.c0 + ks0, ks1, ct.scale)
+    dec = ctx.decrypt(sk, switched)
+    assert np.max(np.abs(dec - z)) < 1e-4

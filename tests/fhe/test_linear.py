@@ -1,0 +1,169 @@
+"""BSGS homomorphic linear transforms (matrix-vector on slots)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.linear import (
+    LinearTransform,
+    RealLinearTransform,
+    holomorphic_parts,
+)
+
+
+def make_hints(fix, transform):
+    return {
+        r: fix.ctx.rotation_hint(fix.sk, r)
+        for r in transform.required_rotations()
+    }
+
+
+def test_holomorphic_parts_complex_linear():
+    n = 8
+    rng = np.random.default_rng(0)
+    m = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+    a, b = holomorphic_parts(lambda z: m @ z, n)
+    assert np.allclose(a, m)
+    assert np.max(np.abs(b)) < 1e-12
+
+
+def test_holomorphic_parts_conjugation():
+    n = 4
+    a, b = holomorphic_parts(np.conj, n)
+    assert np.max(np.abs(a)) < 1e-12
+    assert np.allclose(b, np.eye(n))
+
+
+def test_holomorphic_parts_mixed():
+    n = 4
+    rng = np.random.default_rng(1)
+    ma = rng.normal(size=(n, n))
+    mb = rng.normal(size=(n, n))
+    fn = lambda z: ma @ z + mb @ np.conj(z)
+    a, b = holomorphic_parts(fn, n)
+    assert np.allclose(a, ma) and np.allclose(b, mb)
+
+
+def test_dense_matrix_apply(fhe):
+    ctx, sk = fhe.ctx, fhe.sk
+    n = fhe.slots
+    rng = np.random.default_rng(2)
+    m = (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))) / np.sqrt(n)
+    lt = LinearTransform(ctx, m)
+    hints = make_hints(fhe, lt)
+    z = fhe.random_values(3, magnitude=0.3)
+    ct = ctx.encrypt_values(sk, z)
+    out = lt.apply(ct, hints)
+    assert out.level == ct.level - 1
+    assert np.max(np.abs(ctx.decrypt(sk, out) - m @ z)) < 1e-3
+
+
+def test_diagonal_matrix_needs_no_rotations(fhe):
+    ctx = fhe.ctx
+    n = fhe.slots
+    d = np.diag(np.linspace(0.5, 1.5, n))
+    lt = LinearTransform(ctx, d)
+    assert lt.required_rotations() == set()
+    assert lt.rotation_count() == 0
+    z = fhe.random_values(4)
+    ct = ctx.encrypt_values(fhe.sk, z)
+    out = lt.apply(ct, {})
+    want = np.linspace(0.5, 1.5, n) * z
+    assert np.max(np.abs(ctx.decrypt(fhe.sk, out) - want)) < 1e-3
+
+
+def test_banded_matrix_cheap(fhe):
+    """Structured (tridiagonal-cyclic) matrices only pay for live diagonals."""
+    ctx = fhe.ctx
+    n = fhe.slots
+    m = np.zeros((n, n), dtype=complex)
+    idx = np.arange(n)
+    m[idx, idx] = 1.0
+    m[idx, (idx + 1) % n] = 0.5
+    lt = LinearTransform(ctx, m)
+    assert len(lt.diagonals) == 2
+    assert lt.rotation_count() <= 2
+    hints = make_hints(fhe, lt)
+    z = fhe.random_values(5)
+    ct = ctx.encrypt_values(fhe.sk, z)
+    out = lt.apply(ct, hints)
+    assert np.max(np.abs(ctx.decrypt(fhe.sk, out) - m @ z)) < 1e-3
+
+
+def test_permutation_matrix(fhe):
+    ctx = fhe.ctx
+    n = fhe.slots
+    m = np.roll(np.eye(n), 3, axis=1)  # left-rotation by 3 as a matrix
+    lt = LinearTransform(ctx, m)
+    hints = make_hints(fhe, lt)
+    z = fhe.random_values(6)
+    ct = ctx.encrypt_values(fhe.sk, z)
+    out = lt.apply(ct, hints)
+    assert np.max(np.abs(ctx.decrypt(fhe.sk, out) - np.roll(z, -3))) < 1e-3
+
+
+def test_bsgs_rotation_count_scales_with_sqrt(fhe):
+    n = fhe.slots
+    rng = np.random.default_rng(7)
+    m = rng.normal(size=(n, n)) / n
+    lt = LinearTransform(fhe.ctx, m)
+    # Dense matrix: D = n diagonals; BSGS must use far fewer than n rots.
+    assert lt.rotation_count() < n / 2
+    assert lt.rotation_count() >= int(np.sqrt(n))
+
+
+def test_baby_steps_override(fhe):
+    n = fhe.slots
+    rng = np.random.default_rng(8)
+    m = rng.normal(size=(n, n)) / n
+    plain = LinearTransform(fhe.ctx, m, baby_steps=n)
+    assert len(plain.groups) == 1  # no giant steps at all
+    with pytest.raises(ValueError):
+        LinearTransform(fhe.ctx, m, baby_steps=3)
+
+
+def test_result_scale_targeting(fhe):
+    n = fhe.slots
+    m = np.eye(n) * 0.5
+    lt = LinearTransform(fhe.ctx, m)
+    z = fhe.random_values(9)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    target = 2.0**27
+    out = lt.apply(ct, {}, result_scale=target)
+    assert out.scale == target
+    assert np.max(np.abs(fhe.ctx.decrypt(fhe.sk, out) - 0.5 * z)) < 1e-3
+
+
+def test_shape_validation(fhe):
+    with pytest.raises(ValueError):
+        LinearTransform(fhe.ctx, np.ones((4, 4)))
+    with pytest.raises(ValueError):
+        LinearTransform(fhe.ctx, np.zeros((fhe.slots, fhe.slots)))
+
+
+def test_real_linear_transform_with_conjugation(fhe):
+    """z -> Re(z) needs the conjugated branch; exactly CoeffToSlot's shape."""
+    ctx, sk = fhe.ctx, fhe.sk
+    lt = RealLinearTransform(ctx, lambda z: z.real.astype(np.complex128))
+    assert lt.needs_conjugation()
+    hints = make_hints(fhe, lt)
+    z = fhe.random_values(10)
+    ct = ctx.encrypt_values(sk, z)
+    out = lt.apply(ct, hints, conj_hint=fhe.conj)
+    assert np.max(np.abs(ctx.decrypt(sk, out) - z.real)) < 1e-3
+
+
+def test_real_linear_requires_conj_hint(fhe):
+    lt = RealLinearTransform(fhe.ctx, lambda z: np.conj(z))
+    z = fhe.random_values(11)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    with pytest.raises(ValueError, match="conjugation"):
+        lt.apply(ct, {})
+
+
+def test_real_linear_pure_complex_part_skips_conj(fhe):
+    n = fhe.slots
+    rng = np.random.default_rng(12)
+    m = rng.normal(size=(n, n)) / n
+    lt = RealLinearTransform(fhe.ctx, lambda z: m @ z)
+    assert not lt.needs_conjugation()
+    assert lt.b_part is None

@@ -1,0 +1,49 @@
+"""Noise measurement and the Fig. 2 budget tracker."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.noise import NoiseBudget, budget_bits, measure_noise_bits
+
+
+def test_measure_noise_on_fresh_ciphertext(fhe):
+    z = fhe.random_values(40)
+    ct = fhe.ctx.encrypt_values(fhe.sk, z)
+    bits = measure_noise_bits(fhe.ctx, fhe.sk, ct, z)
+    # Fresh encryption noise is a handful of bits, far below the modulus.
+    assert 0 < bits < 16
+    assert budget_bits(ct) > 100
+
+
+def test_noise_grows_with_operations(fhe):
+    ctx, sk = fhe.ctx, fhe.sk
+    z = fhe.random_values(41, magnitude=0.3)
+    ct = ctx.encrypt_values(sk, z)
+    fresh = measure_noise_bits(ctx, sk, ct, z)
+    rotated = ctx.rotate(ct, 1, fhe.rot1)
+    after = measure_noise_bits(ctx, sk, rotated, np.roll(z, -1))
+    assert after >= fresh - 1  # keyswitching never reduces noise
+
+
+def test_budget_tracker_depth_capacity():
+    nb = NoiseBudget(degree=65536, modulus_bits_per_level=28, levels=22)
+    assert nb.depth_capacity() == 21
+    for _ in range(21):
+        nb.multiply()
+    assert nb.depth_capacity() == 0
+    with pytest.raises(ValueError, match="bootstrap"):
+        nb.multiply()
+
+
+def test_budget_trace_is_decreasing():
+    nb = NoiseBudget(degree=65536, modulus_bits_per_level=28, levels=22)
+    trace = nb.trace(30)
+    assert len(trace) == 22  # stops at exhaustion (Fig. 2's red cliff)
+    assert all(b2 < b1 for b1, b2 in zip(trace, trace[1:]))
+
+
+def test_rotation_does_not_spend_levels():
+    nb = NoiseBudget(degree=65536, modulus_bits_per_level=28, levels=10)
+    levels_before = nb.levels
+    nb.rotate()
+    assert nb.levels == levels_before

@@ -1,0 +1,132 @@
+"""Paterson-Stockmeyer polynomial evaluation on ciphertexts."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.polyeval import (
+    add_any,
+    align_levels,
+    evaluate_chebyshev,
+    evaluate_polynomial,
+    power_ladder,
+)
+
+
+def run_poly(fix, coeffs, z=None, seed=0, mag=0.5):
+    ctx, sk = fix.ctx, fix.sk
+    if z is None:
+        z = fix.random_values(seed, magnitude=mag)
+    ct = ctx.encrypt_values(sk, z)
+    out = evaluate_polynomial(ctx, ct, coeffs, fix.relin)
+    want = np.polynomial.polynomial.polyval(z, np.asarray(coeffs))
+    return np.max(np.abs(ctx.decrypt(sk, out) - want)), out
+
+
+def test_linear(fhe_deep):
+    err, out = run_poly(fhe_deep, [0.5, 2.0])
+    assert err < 1e-3
+    assert out.level == fhe_deep.ctx.params.max_level - 1
+
+
+def test_linear_without_constant(fhe_deep):
+    err, _ = run_poly(fhe_deep, [0.0, -1.5])
+    assert err < 1e-3
+
+
+def test_quadratic(fhe_deep):
+    err, _ = run_poly(fhe_deep, [1.0, -2.0, 0.5])
+    assert err < 1e-3
+
+
+def test_cubic_with_complex_coeffs(fhe_deep):
+    err, _ = run_poly(fhe_deep, [0.1j, 1.0, -0.3 + 0.2j, 0.7])
+    assert err < 1e-3
+
+
+def test_degree7(fhe_deep):
+    coeffs = [0.2, -0.5, 0.3, 0.1, -0.2, 0.05, 0.08, -0.04]
+    err, _ = run_poly(fhe_deep, coeffs)
+    assert err < 1e-3
+
+
+def test_degree15_depth_is_logarithmic(fhe_deep):
+    rng = np.random.default_rng(1)
+    coeffs = rng.normal(size=16) * (0.5 ** np.arange(16))
+    err, out = run_poly(fhe_deep, coeffs.tolist())
+    assert err < 1e-2
+    # log-depth: degree 15 must cost ~log2(15)+2 levels, not 15.
+    used = fhe_deep.ctx.params.max_level - out.level
+    assert used <= 7
+
+
+def test_sparse_polynomial(fhe_deep):
+    # x^4 + 1: whole chunks are empty or constant-only.
+    err, _ = run_poly(fhe_deep, [1.0, 0, 0, 0, 0.5])
+    assert err < 1e-3
+
+
+def test_monomial_only_high_chunk(fhe_deep):
+    # x^6 alone: top chunk has a single term, low chunk empty.
+    err, _ = run_poly(fhe_deep, [0, 0, 0, 0, 0, 0, 0.3], mag=0.6)
+    assert err < 1e-3
+
+
+def test_constant_rejected(fhe_deep):
+    z = fhe_deep.random_values(2)
+    ct = fhe_deep.ctx.encrypt_values(fhe_deep.sk, z)
+    with pytest.raises(ValueError):
+        evaluate_polynomial(fhe_deep.ctx, ct, [1.0], fhe_deep.relin)
+    with pytest.raises(ValueError):
+        evaluate_polynomial(fhe_deep.ctx, ct, [1.0, 0.0], fhe_deep.relin)
+
+
+def test_power_ladder_values(fhe_deep):
+    ctx, sk = fhe_deep.ctx, fhe_deep.sk
+    z = fhe_deep.random_values(3, magnitude=0.8)
+    ct = ctx.encrypt_values(sk, z)
+    powers = power_ladder(ctx, ct, 4, fhe_deep.relin)
+    for k in range(1, 5):
+        err = np.max(np.abs(ctx.decrypt(sk, powers[k]) - z**k))
+        assert err < 1e-3, k
+
+
+def test_add_any_none_handling(fhe_deep):
+    ctx = fhe_deep.ctx
+    z = fhe_deep.random_values(4)
+    ct = ctx.encrypt_values(fhe_deep.sk, z)
+    assert add_any(ctx, None, None) is None
+    assert add_any(ctx, ct, None) is ct
+    assert add_any(ctx, None, ct) is ct
+
+
+def test_align_levels(fhe_deep):
+    ctx = fhe_deep.ctx
+    z = fhe_deep.random_values(5)
+    a = ctx.encrypt_values(fhe_deep.sk, z)
+    b = ctx.encrypt_values(fhe_deep.sk, z, level=4)
+    a2, b2 = align_levels(ctx, a, b)
+    assert a2.level == b2.level == 4
+
+
+def test_chebyshev_matches_numpy(fhe_deep):
+    ctx, sk = fhe_deep.ctx, fhe_deep.sk
+    rng = np.random.default_rng(6)
+    z = rng.uniform(-1, 1, size=fhe_deep.slots)  # Chebyshev domain
+    cheb = [0.1, 0.5, -0.3, 0.2]
+    ct = ctx.encrypt_values(sk, z)
+    out = evaluate_chebyshev(ctx, ct, cheb, fhe_deep.relin)
+    want = np.polynomial.chebyshev.chebval(z, np.asarray(cheb))
+    assert np.max(np.abs(ctx.decrypt(sk, out) - want)) < 1e-3
+
+
+def test_relu_style_approximation(fhe_deep):
+    """Degree-3 'activation' as the LSTM/LoLa benchmarks use (Sec. 8)."""
+    ctx, sk = fhe_deep.ctx, fhe_deep.sk
+    rng = np.random.default_rng(7)
+    z = rng.uniform(-1, 1, size=fhe_deep.slots)
+    # smooth sigmoid-ish polynomial approximation
+    coeffs = [0.5, 0.25, 0.0, -1.0 / 48]
+    ct = ctx.encrypt_values(sk, z)
+    out = evaluate_polynomial(ctx, ct, coeffs, fhe_deep.relin)
+    want = np.polynomial.polynomial.polyval(z, np.asarray(coeffs))
+    assert np.max(np.abs(ctx.decrypt(sk, out) - want)) < 1e-3

@@ -1,0 +1,127 @@
+"""Security estimator and the digit-schedule logic of Sec. 3.1 / 9.4."""
+
+import pytest
+
+from repro.fhe.security import (
+    SecurityEstimator,
+    ciphertext_megabytes,
+    hint_megabytes,
+    max_log_q_for_security,
+    security_bits,
+)
+
+
+def test_table_monotonic_in_degree():
+    for sec in (80, 128, 192, 256):
+        prev = 0
+        for n in (1024, 4096, 16384, 65536, 131072):
+            cur = max_log_q_for_security(n, sec)
+            assert cur > prev
+            prev = cur
+
+
+def test_table_monotonic_in_security():
+    for n in (4096, 65536):
+        assert (max_log_q_for_security(n, 80)
+                > max_log_q_for_security(n, 128)
+                > max_log_q_for_security(n, 192)
+                > max_log_q_for_security(n, 256))
+
+
+def test_interpolation_between_levels():
+    """The paper's 200-bit target must sit between the 192 and 256 rows."""
+    q200 = max_log_q_for_security(131072, 200)
+    assert max_log_q_for_security(131072, 256) < q200
+    assert q200 < max_log_q_for_security(131072, 192)
+
+
+def test_unknown_degree_rejected():
+    with pytest.raises(ValueError):
+        max_log_q_for_security(3000, 128)
+
+
+def test_security_bits_inverts_table():
+    for sec in (80, 128, 192):
+        logq = max_log_q_for_security(65536, sec)
+        est = security_bits(65536, logq)
+        assert abs(est - sec) < 3
+
+
+def test_security_bits_decreasing_in_logq():
+    assert security_bits(65536, 1000) > security_bits(65536, 2000)
+
+
+def test_paper_80bit_operating_point():
+    """Sec. 3.1: 80-bit @ N=64K runs 1-digit keyswitching up to L=52 and
+    2-digit beyond; our estimator must reproduce that schedule shape."""
+    est = SecurityEstimator(65536, 80, modulus_bits=28)
+    schedule = est.digit_schedule(57)
+    crossover = min(lvl for lvl, d in schedule.items() if d == 2)
+    assert 45 <= crossover <= 57
+    assert all(d == 1 for lvl, d in schedule.items() if lvl < crossover)
+
+
+def test_paper_128bit_needs_more_digits():
+    """Sec. 9.4: 128-bit @ N=64K uses 1/2/3-digit keyswitching by level."""
+    est = SecurityEstimator(65536, 128, modulus_bits=28)
+    max_lvl = est.max_level()
+    assert 40 <= max_lvl <= 60
+    schedule = est.digit_schedule(max_lvl)
+    assert max(schedule.values()) >= 3
+    assert schedule[10] == 1
+
+
+def test_128bit_max_level_below_80bit():
+    lo = SecurityEstimator(65536, 128).max_level()
+    hi = SecurityEstimator(65536, 80).max_level()
+    assert lo < hi
+
+
+def test_200bit_requires_larger_ring():
+    """Sec. 9.4: deep chains at 200 bits do not fit N=64K; N=128K works."""
+    small = SecurityEstimator(65536, 200)
+    large = SecurityEstimator(131072, 200)
+    assert small.max_level() < 45  # cannot host the deep benchmarks
+    assert large.max_level() >= 57
+
+
+def test_insecure_schedule_raises():
+    est = SecurityEstimator(1024, 128, modulus_bits=28)
+    with pytest.raises(ValueError, match="insecure"):
+        est.digit_schedule(20)
+
+
+def test_log_qp_formula():
+    est = SecurityEstimator(65536, 80)
+    assert est.log_qp(60, 1) == (60 + 60) * 28
+    assert est.log_qp(60, 2) == (60 + 30) * 28
+    assert est.log_qp(60, 3) == (60 + 20) * 28
+    assert est.log_qp(7, 2) == (7 + 4) * 28  # ceil(7/2) = 4
+
+
+def test_ciphertext_size_paper_numbers():
+    """Sec. 2.3 / Sec. 6: N=64K, L=60 ciphertexts are ~26 MB; L=54 at
+    1500-bit Q etc.  Check the headline 10-ciphertexts-in-256MB claim."""
+    mb = ciphertext_megabytes(65536, 60)
+    assert 25 < mb < 28
+    assert int(256 // mb) == 9  # 'fits just shy of 10 ciphertexts'
+
+
+def test_hint_size_paper_numbers():
+    """Sec. 3: at N=64K, L=60 a boosted KSH takes 52.5 MB (2 ciphertexts);
+    with seeded generation (KSHGen) half of that is stored."""
+    full = hint_megabytes(65536, 60, digits=1, seeded=False)
+    assert 50 < full < 55
+    seeded = hint_megabytes(65536, 60, digits=1, seeded=True)
+    assert abs(full - 2 * seeded) < 1e-9
+
+
+def test_hint_size_grows_with_digits():
+    """Sec. 3.1: t-digit hints take t+1 ciphertexts' worth of residues."""
+    h1 = hint_megabytes(65536, 60, 1, seeded=False)
+    h2 = hint_megabytes(65536, 60, 2, seeded=False)
+    h3 = hint_megabytes(65536, 60, 3, seeded=False)
+    ct = ciphertext_megabytes(65536, 60)
+    assert abs(h1 / ct - 2) < 0.1
+    assert abs(h2 / ct - 3) < 0.1
+    assert abs(h3 / ct - 4) < 0.1

@@ -1,0 +1,116 @@
+"""Workload generators: structure and paper-anchored properties."""
+
+import pytest
+
+from repro.ir import INPUT, KEYSWITCH_KINDS, MULT, ROTATE
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    DEEP_BENCHMARKS,
+    SHALLOW_BENCHMARKS,
+    benchmark,
+    multiplication_chain,
+    wide_multiply_graph,
+)
+from repro.workloads.bootstrap import BootstrapPlan, plan_for
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_benchmarks_build(name):
+    prog = benchmark(name)
+    assert len(prog) > 20
+    assert prog.keyswitch_count() > 0
+    assert prog.count(INPUT) >= 1
+
+
+def test_unknown_benchmark():
+    with pytest.raises(KeyError):
+        benchmark("nope")
+
+
+def test_deep_benchmarks_bootstrap():
+    for name in DEEP_BENCHMARKS:
+        prog = benchmark(name)
+        boot_ops = [op for op in prog.ops if op.tag == "bootstrap"]
+        assert boot_ops, name
+        assert prog.max_live_level() >= 50, name
+
+
+def test_shallow_benchmarks_do_not_bootstrap():
+    for name in SHALLOW_BENCHMARKS:
+        if name == "unpacked_bootstrap":
+            continue
+        prog = benchmark(name)
+        assert not any(op.tag == "bootstrap" for op in prog.ops), name
+        assert prog.max_live_level() <= 8, name
+
+
+def test_lstm_bootstrap_count():
+    """Paper: ~50 bootstrappings per LSTM inference."""
+    prog = benchmark("lstm")
+    starts = 0
+    prev = ""
+    for op in prog.ops:
+        if op.tag == "bootstrap" and prev != "bootstrap":
+            starts += 1
+        prev = op.tag
+    assert 40 <= starts <= 60, starts
+
+
+def test_mnist_encrypted_weights_heavier():
+    uw = benchmark("lola_mnist_uw")
+    ew = benchmark("lola_mnist_ew")
+    assert ew.count(MULT) > uw.count(MULT)
+    assert ew.count(INPUT) > uw.count(INPUT)  # weights arrive encrypted
+
+
+def test_plan_level_accounting():
+    plan = plan_for(80)
+    assert plan.top_level == 57
+    assert plan.levels_consumed == 35  # Fig. 2: bootstrap consumes 35
+    assert plan.usable_levels == 22    # leaving 22 for the application
+    assert plan.keyswitch_count() > 100
+
+
+def test_plan_consuming_whole_chain_rejected():
+    plan = BootstrapPlan(top_level=20)
+    with pytest.raises(ValueError):
+        _ = plan.usable_levels
+
+
+def test_128bit_plan_shallower():
+    p80, p128 = plan_for(80), plan_for(128)
+    assert p128.top_level < p80.top_level
+    assert p128.usable_levels < p80.usable_levels
+
+
+def test_200bit_requires_large_ring():
+    with pytest.raises(ValueError, match="128K"):
+        plan_for(200, degree=65536)
+    assert plan_for(200, degree=131072).top_level >= 50
+
+
+def test_synthetic_chain_bootstraps_between_mults():
+    prog = multiplication_chain(total_mults=60, max_level=45)
+    assert prog.count(MULT) >= 60
+    assert any(op.tag == "bootstrap" for op in prog.ops)
+
+
+def test_synthetic_wide_amortizes():
+    chain = multiplication_chain(total_mults=40, max_level=57)
+    wide = wide_multiply_graph(levels=40, width=100, max_level=57)
+    boot = lambda p: sum(
+        1 for op in p.ops
+        if op.tag == "bootstrap" and op.kind in KEYSWITCH_KINDS
+    )
+    # Same multiplicative depth, but wide does ~100x the useful multiplies
+    # per bootstrap keyswitch.
+    assert wide.count(MULT) > 50 * chain.count(MULT) / 2
+    assert boot(wide) == boot(chain)
+
+
+def test_security_parameter_reaches_workloads():
+    p80 = benchmark("packed_bootstrap", security=80)
+    p128 = benchmark("packed_bootstrap", security=128)
+    # 128-bit refreshes a smaller budget per bootstrap => more work total.
+    assert p128.keyswitch_count() > p80.keyswitch_count()
+    assert max(op.digits for op in p128.ops) > max(op.digits for op in p80.ops)
