@@ -8,7 +8,14 @@ Runs in a few seconds:
    CraterLake, F1+ and the CPU model, reproducing the Table 3 row.
 
     python examples/quickstart.py
+
+With ``--trace out.json`` the whole run executes under the
+observability layer (docs/TRACING.md): a Chrome-trace JSON is written
+(open it in chrome://tracing or https://ui.perfetto.dev) and a top-N
+report plus per-op/aggregate cycle reconciliation are printed.
 """
+
+import argparse
 
 import numpy as np
 
@@ -19,6 +26,7 @@ from repro import (
     benchmark,
     cpu_seconds,
     f1plus_config,
+    obs,
     simulate,
 )
 
@@ -71,6 +79,50 @@ def accelerator_demo():
     print("paper (Table 3): 3.91 ms, 14.9x, 4,398x")
 
 
+def traced_run(path: str):
+    """Re-run both demos under tracing; write a Chrome trace to ``path``.
+
+    The simulated-op timeline covers a single CraterLake run of the
+    packed-bootstrapping benchmark (one machine, so per-op cycles
+    reconcile exactly with the aggregate); the functional demo
+    contributes the wall-clock spans (NTT, keyswitch).
+    """
+    from repro.obs import export
+
+    cfg = ChipConfig()
+    with obs.collecting() as c:
+        functional_demo()
+        program = benchmark("packed_bootstrap")
+        result = simulate(program, cfg)
+
+    print("\n=== Trace summary (docs/TRACING.md) ===")
+    print(export.top_report(c, n=10))
+    traced = c.total_op_cycles()
+    print(f"\nreconciliation: sum of per-op cycles = {traced:,.0f}, "
+          f"SimResult.cycles = {result.cycles:,.0f} "
+          f"(delta {abs(traced - result.cycles):.3g})")
+    export.write_chrome_trace(c, path, clock_hz=cfg.clock_hz)
+    print(f"wrote Chrome trace to {path} - open in chrome://tracing "
+          "or https://ui.perfetto.dev")
+
+
 if __name__ == "__main__":
-    functional_demo()
-    accelerator_demo()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="enable tracing and write a Chrome-trace JSON to this path",
+    )
+    cli = parser.parse_args()
+    if cli.trace is not None:
+        if not cli.trace:
+            parser.error("--trace requires a non-empty output path")
+        try:
+            # Fail fast on an unwritable path, not after the whole run.
+            with open(cli.trace, "w"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write trace file: {exc}")
+        traced_run(cli.trace)
+    else:
+        functional_demo()
+        accelerator_demo()

@@ -48,6 +48,7 @@ from repro.fhe import (
 )
 from repro.ir import HomOp, Program
 from repro.workloads import ALL_BENCHMARKS, DEEP_BENCHMARKS, benchmark
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -70,6 +71,7 @@ __all__ = [
     "cpu_seconds",
     "energy_breakdown",
     "f1plus_config",
+    "obs",
     "simulate",
     "total_area",
 ]

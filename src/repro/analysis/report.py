@@ -34,6 +34,18 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
     return "\n".join(lines)
 
 
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Minimal CSV (no quoting; cells must not contain commas), used by
+    the obs exporters and the benchmark results files."""
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = [f"{c:.10g}" if isinstance(c, float) else str(c) for c in row]
+        if any("," in c for c in cells):
+            raise ValueError(f"CSV cell contains a comma: {cells}")
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         if cell == 0:

@@ -14,13 +14,19 @@ schedules fall out of this rule:
 from __future__ import annotations
 
 from repro.fhe.security import SecurityEstimator
+from repro.obs import collector as obs
 
 
 def digit_schedule(degree: int, security: int, max_level: int,
                    modulus_bits: int = 28, max_digits: int = 4) -> dict[int, int]:
     """Level -> digit count map for a workload's full chain."""
     est = SecurityEstimator(degree, security, modulus_bits, max_digits)
-    return est.digit_schedule(max_level)
+    schedule = est.digit_schedule(max_level)
+    if obs.is_enabled():
+        # Schedule decisions: how many levels got multi-digit keyswitching.
+        for t in schedule.values():
+            obs.count(f"compiler.digit_choice.t{t}")
+    return schedule
 
 
 def max_usable_level(degree: int, security: int,

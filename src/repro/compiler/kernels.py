@@ -19,7 +19,10 @@ def matvec(b: FheBuilder, x: Value, dim: int, weights: str,
            rescale: bool = True, compact_weights: bool = False) -> Value:
     """BSGS matrix-vector product of a packed dim x dim matrix.
 
-    ``diagonals`` defaults to dense (dim live diagonals).  Weight
+    Cost is in *homomorphic op counts*, not cycles: ~2*sqrt(d) rotations
+    + d plaintext multiplies for d live diagonals, consuming one level
+    when ``rescale``.  ``diagonals`` defaults to dense (dim live
+    diagonals).  Weight
     plaintexts are named per (weights, giant, baby) so reuse across calls
     with the same ``weights`` label is visible to the register file;
     rotation hints are shared across all matvecs with the same
@@ -55,7 +58,8 @@ def matvec(b: FheBuilder, x: Value, dim: int, weights: str,
 
 
 def polynomial_activation(b: FheBuilder, x: Value, degree: int) -> Value:
-    """Paterson-Stockmeyer activation: ~2*sqrt(d) mults, log2(d)+2 depth."""
+    """Paterson-Stockmeyer activation: ~2*sqrt(d) ciphertext mults (op
+    count), consuming ~log2(d)+2 levels of depth."""
     if degree < 2:
         raise ValueError("activation degree must be >= 2")
     k = 1 << math.ceil(math.log2(math.sqrt(degree + 1)))
@@ -99,7 +103,8 @@ def polynomial_activation(b: FheBuilder, x: Value, degree: int) -> Value:
 
 def rotate_accumulate(b: FheBuilder, x: Value, count: int,
                       hint_prefix: str = "") -> Value:
-    """log2(count) rotate-and-add reduction (sums ``count`` slot groups)."""
+    """log2(count) rotations + adds (op counts; depth-free) summing
+    ``count`` slot groups."""
     acc = x
     step = 1
     while step < count:
@@ -113,7 +118,9 @@ def blocked_matvec(b: FheBuilder, x: Value, diagonals: int, blocks: int,
                    weights: str, hint_prefix: str = "",
                    compact_weights: bool = False,
                    rescale: bool = True) -> Value:
-    """``blocks`` independent BSGS matrix products sharing rotation hints.
+    """``blocks`` independent BSGS matrix products sharing rotation
+    hints; op counts scale with ``blocks`` but hint *words* are fetched
+    once (batched emission), consuming one level when ``rescale``.
 
     The block structure of convolutional layers: every block applies the
     same rotation steps (so hints are fetched once and reused) to

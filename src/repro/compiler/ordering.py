@@ -15,10 +15,16 @@ import heapq
 from collections import defaultdict, deque
 
 from repro.ir import HomOp, Program
+from repro.obs import collector as obs
 
 
 def order_for_reuse(program: Program) -> Program:
     """Return a new Program with a reuse-friendlier op order."""
+    with obs.span("compiler.order_for_reuse", "compiler"):
+        return _order_for_reuse(program)
+
+
+def _order_for_reuse(program: Program) -> Program:
     ops = program.ops
     producers: dict[str, int] = {op.result: i for i, op in enumerate(ops)}
 
@@ -59,12 +65,16 @@ def order_for_reuse(program: Program) -> Program:
                 candidate = queue.popleft()
                 if not done[candidate]:
                     i = candidate
+                    # A schedule decision: this op was moved up so a
+                    # resident hint/plaintext gets reused.
+                    obs.count("compiler.reorder.reuse_picks")
                     break
         if i is None:
             while ready_heap:
                 candidate = heapq.heappop(ready_heap)
                 if not done[candidate]:
                     i = candidate
+                    obs.count("compiler.reorder.program_order_picks")
                     break
         if i is None:
             raise RuntimeError("dependency cycle in program (builder bug)")

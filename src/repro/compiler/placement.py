@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import collector as obs
+
 
 @dataclass(frozen=True)
 class Placement:
@@ -53,6 +55,7 @@ def plan_refreshes(step_depths, usable_levels: int,
             refreshes.append(i)
             budget = usable_levels
         budget -= depth
+    obs.count("compiler.bootstraps_placed", len(refreshes))
     return Placement(tuple(refreshes), usable_levels)
 
 

@@ -60,10 +60,13 @@ class OpCost:
     kshgen_elements: float = 0.0  # pseudorandom elements generated on-chip
 
     def add_fu(self, cls: str, elements: float) -> None:
+        """Charge ``elements`` (scalar residue elements, not cycles) to FU
+        class ``cls``, plus the implied register-file stream elements."""
         self.fu_elements[cls] = self.fu_elements.get(cls, 0.0) + elements
         self.port_stream_elements += _STREAMS[cls] * elements
 
     def merge(self, other: "OpCost") -> None:
+        """Accumulate another op's element/word counts into this one."""
         for cls, el in other.fu_elements.items():
             self.fu_elements[cls] = self.fu_elements.get(cls, 0.0) + el
         self.port_stream_elements += other.port_stream_elements
@@ -74,7 +77,9 @@ class OpCost:
         self.kshgen_elements += other.kshgen_elements
 
     def compute_cycles(self, cfg: ChipConfig) -> float:
-        """Limiting-resource cycles on ``cfg`` (FUs, RF ports, network)."""
+        """Convert element counts to *cycles* on ``cfg``: the max over
+        FU classes, RF ports and the network of elements / per-cycle
+        capacity (the limiting resource)."""
         times = []
         for cls, elements in self.fu_elements.items():
             capacity = _class_capacity(cfg, cls)
@@ -91,6 +96,7 @@ class OpCost:
 
 
 def _class_capacity(cfg: ChipConfig, cls: str) -> float:
+    """Elements per cycle FU class ``cls`` can absorb (units x lanes)."""
     units = {
         "ntt": cfg.ntt_units,
         "mul": cfg.mul_units,
@@ -109,7 +115,8 @@ def _ntt_scalar_mults(degree: int) -> float:
 
 def boosted_keyswitch_cost(cfg: ChipConfig, degree: int, level: int,
                            digits: int) -> OpCost:
-    """Listing 1 generalized to t digits (Sec. 3, Sec. 3.1).
+    """Element/word cost (an :class:`OpCost`, *not* cycles) of one boosted
+    keyswitch: Listing 1 generalized to t digits (Sec. 3, Sec. 3.1).
 
     The input's L residues are split into t digits of alpha = ceil(L/t)
     primes; each digit is base-converted (CRB) onto the L + alpha target
@@ -181,7 +188,8 @@ def boosted_keyswitch_cost(cfg: ChipConfig, degree: int, level: int,
 
 
 def standard_keyswitch_cost(cfg: ChipConfig, degree: int, level: int) -> OpCost:
-    """Per-prime (BV) keyswitching, the algorithm F1 is built around.
+    """Element/word cost of one standard (per-prime, BV) keyswitch, the
+    algorithm F1 is built around.
 
     Each of the L residues is its own digit, base-converted to all L primes
     (an exact lift: INTT + L NTTs), giving the L^2 NTT / 2L^2 mult / 2L^2
@@ -209,7 +217,8 @@ def standard_keyswitch_cost(cfg: ChipConfig, degree: int, level: int) -> OpCost:
 
 def keyswitch_cost(cfg: ChipConfig, degree: int, level: int,
                    digits: int) -> OpCost:
-    """Pick the keyswitching algorithm per the machine's policy.
+    """Element/word cost of a keyswitch under the machine's algorithm
+    policy.
 
     CraterLake always runs boosted keyswitching; F1+-style machines
     (``crb=False``) get whichever algorithm is cheaper at this level -
@@ -235,8 +244,9 @@ def keyswitch_cost(cfg: ChipConfig, degree: int, level: int,
 
 
 def rescale_cost(cfg: ChipConfig, degree: int, level: int) -> OpCost:
-    """Rescale both ciphertext polynomials: INTT last residue, re-NTT the
-    correction onto the remaining L-1 residues, subtract and scale."""
+    """Element/word cost of a rescale: INTT the last residue of both
+    ciphertext polynomials, re-NTT the correction onto the remaining L-1
+    residues, subtract and scale."""
     n = degree
     ell = level
     cost = OpCost()
@@ -252,7 +262,9 @@ def rescale_cost(cfg: ChipConfig, degree: int, level: int) -> OpCost:
 
 
 def op_cost(cfg: ChipConfig, op: HomOp, degree: int) -> OpCost:
-    """Total element cost of one homomorphic op on machine ``cfg``."""
+    """Total cost of one homomorphic op on ``cfg``: FU/port/network
+    counts in *elements*, hint and network fields in *words*; convert to
+    cycles with :meth:`OpCost.compute_cycles`."""
     n = degree
     ell = op.level
     cost = OpCost()
@@ -305,7 +317,8 @@ _PIPELINE_DEPTH = {MULT: 10, ROTATE: 10, CONJUGATE: 10, PMULT: 2, ADD: 1,
 
 
 def op_latency(cfg: ChipConfig, op: HomOp, degree: int) -> float:
-    """Pipeline fill latency exposed when ops execute one at a time."""
+    """Pipeline-fill latency in *cycles* exposed when ops execute one at
+    a time (zero for machines that overlap independent ops)."""
     if not cfg.serial_execution:
         return 0.0
     depth = _PIPELINE_DEPTH.get(op.kind, 0)
@@ -313,8 +326,11 @@ def op_latency(cfg: ChipConfig, op: HomOp, degree: int) -> float:
 
 
 def ciphertext_words(degree: int, level: int) -> int:
+    """Residue *words* in a level-L ciphertext (2 polynomials x N x L);
+    multiply by ``cfg.bytes_per_word`` for bytes."""
     return 2 * degree * level
 
 
 def plaintext_words(degree: int, level: int) -> int:
+    """Residue *words* in a packed plaintext (1 polynomial x N x L)."""
     return degree * level

@@ -32,6 +32,7 @@ from repro.core.cost import (
     plaintext_words,
 )
 from repro.ir import INPUT, OUTPUT, Program
+from repro.obs import collector as obs
 
 # Object categories for traffic accounting (Fig. 10a).
 KSH = "ksh"
@@ -178,6 +179,10 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
     comp_clock = 0.0
     words_per_cycle = cfg.hbm_words_per_cycle
 
+    # Per-op Belady victim count, for the observability layer; fetch() and
+    # the result-allocation loop increment it, the op loop resets it.
+    evicted = [0]
+
     def fetch(obj: str, words: float, category: str, dirty: bool,
               uses_at: float) -> float:
         """Ensure obj is resident; return words moved from memory."""
@@ -193,14 +198,38 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
         else:
             traffic["interm_load"] += words
         for _, victim in rf.insert(obj, words, category, dirty, uses_at):
+            evicted[0] += 1
             if victim.dirty and victim.next_use != float("inf"):
                 traffic["interm_store"] += victim.words
                 moved += victim.words
         return moved
 
+    tr = obs.active()
+
+    def record(op, index: int, crit_before: float, mem_before: float,
+               compute_start: float, compute_cycles: float,
+               stall: float, mem_words: float) -> None:
+        """Emit one OpEvent; ``cycles`` is the critical-path advance, so
+        the events telescope exactly to the final cycle count."""
+        tr.emit_op(obs.OpEvent(
+            index=index, kind=op.kind, result=op.result, level=op.level,
+            tag=op.tag,
+            cycles=max(comp_clock, mem_clock) - crit_before,
+            compute_start=compute_start, compute_cycles=compute_cycles,
+            mem_start=mem_before, mem_cycles=mem_clock - mem_before,
+            stall_cycles=stall, mem_words=mem_words, evictions=evicted[0],
+        ))
+        tr.count("sim.ops")
+        tr.count(f"sim.ops.{op.kind}")
+        if evicted[0]:
+            tr.count("sim.rf_evictions", evicted[0])
+
     for i, op in enumerate(program.ops):
         uses = next_use[i]
         mem_words = 0.0
+        evicted[0] = 0
+        crit_before = max(comp_clock, mem_clock)
+        mem_before = mem_clock
 
         if op.kind == INPUT:
             # Client/weight data arriving from memory on first touch.
@@ -208,6 +237,9 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
             mem_words += fetch(op.result, words, INPUTS, False,
                                uses.get(op.result, float("inf")))
             mem_clock += mem_words / words_per_cycle
+            if tr is not None:
+                record(op, i, crit_before, mem_before, comp_clock, 0.0,
+                       0.0, mem_words)
             continue
         if op.kind == OUTPUT:
             words = ciphertext_words(n, op.level)
@@ -215,6 +247,9 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
             mem_clock += words / words_per_cycle
             for operand in op.operands:
                 rf.drop(operand)
+            if tr is not None:
+                record(op, i, crit_before, mem_before, comp_clock, 0.0,
+                       0.0, words)
             continue
 
         cost = op_cost(cfg, op, n)
@@ -236,6 +271,7 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
         # reloaded later).
         for _, victim in rf.insert(op.result, ciphertext_words(n, op.level),
                                    INTERM, True, uses[op.result]):
+            evicted[0] += 1
             if victim.dirty and victim.next_use != float("inf"):
                 traffic["interm_store"] += victim.words
                 mem_words += victim.words
@@ -248,13 +284,21 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
         # Pipeline-fill latency is exposed only when this op consumes the
         # previous op's result (a true dependence chain); independent ops
         # overlap in the static schedule.
-        if prev_result is not None and prev_result in op.operands:
+        chained = prev_result is not None and prev_result in op.operands
+        if chained:
             cycles += op_latency(cfg, op, n)
         prev_result = op.result
-        comp_clock = max(comp_clock, mem_clock) + cycles
+        compute_start = max(comp_clock, mem_clock)
+        stall = compute_start - comp_clock
+        comp_clock = compute_start + cycles
         for cls, elements in cost.fu_elements.items():
             capacity = max(1.0, _unit_capacity(cfg, cls))
             fu_busy[cls] = fu_busy.get(cls, 0.0) + elements / capacity
+        if tr is not None:
+            if chained and cfg.chaining:
+                tr.count("sim.chain_hits")
+            record(op, i, crit_before, mem_before, compute_start, cycles,
+                   stall, mem_words)
 
     total_cycles = max(comp_clock, mem_clock)
     return SimResult(

@@ -33,6 +33,7 @@ import numpy as np
 from repro.fhe.poly import EVAL, RnsPoly
 from repro.fhe.rns import RnsBasis
 from repro.fhe.sampling import error_poly, seeded_uniform_poly
+from repro.obs import collector as obs
 
 
 def digit_bases(basis: RnsBasis, alpha: int) -> list[RnsBasis]:
@@ -122,6 +123,7 @@ def generate_hint(
     full = q_basis if aux_basis is None else q_basis.extend(aux_basis)
     if s_old.basis != full or s_new.basis != full:
         raise ValueError("keys must be expressed over the full basis Q*P")
+    obs.count("fhe.keyswitch.hints_generated")
     degree = s_old.degree
     p_product = aux_basis.modulus if aux_basis is not None else 1
     q_total = q_basis.modulus
@@ -204,13 +206,15 @@ def boosted_keyswitch(
     """
     if hint.aux_count != len(aux_basis):
         raise ValueError("hint was generated for a different special basis")
-    q_level = poly.basis
-    target = q_level.extend(aux_basis)
-    coeff = poly.to_coeff()
-    acc0, acc1 = _accumulate_digits(coeff, hint, target)
-    ks0 = mod_down(acc0, q_level, aux_basis)
-    ks1 = mod_down(acc1, q_level, aux_basis)
-    return ks0, ks1
+    with obs.span("keyswitch.boosted", "fhe"):
+        obs.count("fhe.keyswitch.boosted")
+        q_level = poly.basis
+        target = q_level.extend(aux_basis)
+        coeff = poly.to_coeff()
+        acc0, acc1 = _accumulate_digits(coeff, hint, target)
+        ks0 = mod_down(acc0, q_level, aux_basis)
+        ks1 = mod_down(acc1, q_level, aux_basis)
+        return ks0, ks1
 
 
 def standard_keyswitch(
@@ -224,7 +228,9 @@ def standard_keyswitch(
     """
     if hint.aux_count != 0:
         raise ValueError("hint was generated with a special basis; use boosted")
-    q_level = poly.basis
-    coeff = poly.to_coeff()
-    acc0, acc1 = _accumulate_digits(coeff, hint, q_level)
-    return acc0, acc1
+    with obs.span("keyswitch.standard", "fhe"):
+        obs.count("fhe.keyswitch.standard")
+        q_level = poly.basis
+        coeff = poly.to_coeff()
+        acc0, acc1 = _accumulate_digits(coeff, hint, q_level)
+        return acc0, acc1

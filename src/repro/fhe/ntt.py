@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fhe.primes import root_of_unity
+from repro.obs import collector as obs
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
@@ -83,6 +84,13 @@ class NttContext:
 
         Accepts shape (..., N); transforms the last axis.
         """
+        if obs.is_enabled():
+            with obs.span("ntt.forward", "fhe"):
+                obs.count("fhe.ntt.forward")
+                return self._forward(coeffs)
+        return self._forward(coeffs)
+
+    def _forward(self, coeffs: np.ndarray) -> np.ndarray:
         q = np.uint64(self.modulus)
         n = self.degree
         a = np.array(coeffs, dtype=np.uint64, copy=True)
@@ -103,6 +111,13 @@ class NttContext:
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT: bit-reversed evaluations in, coeffs out."""
+        if obs.is_enabled():
+            with obs.span("ntt.inverse", "fhe"):
+                obs.count("fhe.ntt.inverse")
+                return self._inverse(values)
+        return self._inverse(values)
+
+    def _inverse(self, values: np.ndarray) -> np.ndarray:
         q = np.uint64(self.modulus)
         n = self.degree
         a = np.array(values, dtype=np.uint64, copy=True)

@@ -1,0 +1,178 @@
+"""Exporters: human-readable top-N report, CSV counters, Chrome trace.
+
+Three views of one :class:`repro.obs.Collector`:
+
+* :func:`top_report` - a terminal-friendly summary (top simulated ops by
+  critical-path cycles, top wall-clock spans, all counters), built on the
+  same table formatter the benchmark harnesses use.
+* :func:`counters_csv` / :func:`spans_csv` - flat CSV for spreadsheets
+  and regression diffing.
+* :func:`chrome_trace` - the Chrome ``trace_event`` JSON format
+  (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Simulated
+  ops are laid out as two timeline lanes of one process - *FU lanes*
+  (compute) and *HBM* (the decoupled memory stream) - so overlap,
+  memory-bound stretches, and per-phase structure are visible at a
+  glance.  Wall-clock spans go to a second process on their own time
+  base.
+
+Chrome traces timestamp in microseconds.  Pass ``clock_hz`` (e.g.
+``ChipConfig.clock_hz``) to convert simulated cycles to simulated
+microseconds; without it, cycles are exported 1:1 as "microseconds",
+which keeps relative durations correct.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.collector import Collector
+
+# pid/tid layout of the exported trace.
+SIM_PID = 0          # simulated machine (timestamps in simulated time)
+FU_TID = 0           # compute lane
+HBM_TID = 1          # memory-stream lane
+HOST_PID = 1         # wall-clock spans (timestamps in host time)
+HOST_TID = 0
+
+
+def top_report(collector: Collector, n: int = 10) -> str:
+    """Top-``n`` summary of a traced region as printable text."""
+    # Deferred: repro.analysis pulls in workloads/compiler, which are
+    # themselves instrumented with repro.obs - importing lazily keeps the
+    # obs package importable from every layer.
+    from repro.analysis.report import format_table
+
+    sections = []
+
+    if collector.op_events:
+        total = collector.total_op_cycles() or 1.0
+        top_ops = sorted(collector.op_events, key=lambda e: -e.cycles)[:n]
+        rows = [
+            [e.index, e.kind, e.tag or "-", e.level, e.cycles,
+             e.stall_cycles, f"{e.cycles / total:.1%}"]
+            for e in top_ops
+        ]
+        sections.append(format_table(
+            ["op", "kind", "phase", "level", "cycles", "stall", "share"],
+            rows, title=f"Top {len(rows)} simulated ops by critical-path cycles",
+        ))
+        by_kind: dict[str, float] = {}
+        for e in collector.op_events:
+            by_kind[e.kind] = by_kind.get(e.kind, 0.0) + e.cycles
+        rows = [
+            [kind, cycles, f"{cycles / total:.1%}"]
+            for kind, cycles in sorted(by_kind.items(), key=lambda kv: -kv[1])
+        ]
+        sections.append(format_table(
+            ["kind", "cycles", "share"], rows,
+            title="Critical-path cycles by op kind",
+        ))
+
+    span_totals = collector.span_totals()
+    if span_totals:
+        ranked = sorted(span_totals.items(), key=lambda kv: -kv[1][1])[:n]
+        rows = [
+            [name, calls, secs * 1e3, secs / calls * 1e6]
+            for name, (calls, secs) in ranked
+        ]
+        sections.append(format_table(
+            ["span", "calls", "total ms", "us/call"], rows,
+            title=f"Top {len(rows)} wall-clock spans",
+        ))
+
+    if collector.counters:
+        rows = sorted(collector.counters.items())
+        sections.append(format_table(
+            ["counter", "value"], rows, title="Counters",
+        ))
+
+    return "\n\n".join(sections) if sections else "(no events collected)"
+
+
+def counters_csv(collector: Collector) -> str:
+    """Counters as two-column CSV (``counter,value``)."""
+    from repro.analysis.report import format_csv  # deferred; see top_report
+
+    rows = sorted(collector.counters.items())
+    return format_csv(["counter", "value"], rows)
+
+
+def spans_csv(collector: Collector) -> str:
+    """Aggregated spans as CSV (``span,calls,total_s``)."""
+    from repro.analysis.report import format_csv  # deferred; see top_report
+
+    rows = [
+        [name, calls, secs]
+        for name, (calls, secs) in sorted(collector.span_totals().items())
+    ]
+    return format_csv(["span", "calls", "total_s"], rows)
+
+
+def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
+    """The collector's contents as a Chrome ``trace_event`` object.
+
+    Returns the JSON Object Format (``{"traceEvents": [...]}``); dump with
+    ``json.dump`` or use :func:`write_chrome_trace`.
+    """
+    to_us = 1e6 / clock_hz if clock_hz else 1.0
+    events: list[dict] = []
+
+    def meta(pid: int, tid: int | None, name: str, what: str) -> None:
+        ev = {"ph": "M", "pid": pid, "name": what,
+              "args": {"name": name}, "ts": 0}
+        if tid is not None:
+            ev["tid"] = tid
+        events.append(ev)
+
+    meta(SIM_PID, None, "simulated machine", "process_name")
+    meta(SIM_PID, FU_TID, "FU lanes (compute)", "thread_name")
+    meta(SIM_PID, HBM_TID, "HBM (memory stream)", "thread_name")
+
+    for e in collector.op_events:
+        label = f"{e.kind} {e.result}"
+        args = {
+            "op_index": e.index, "level": e.level, "phase": e.tag,
+            "critical_path_cycles": e.cycles,
+            "stall_cycles": e.stall_cycles,
+            "mem_words": e.mem_words, "evictions": e.evictions,
+        }
+        if e.compute_cycles > 0:
+            events.append({
+                "name": label, "cat": e.kind or "op", "ph": "X",
+                "pid": SIM_PID, "tid": FU_TID,
+                "ts": e.compute_start * to_us,
+                "dur": e.compute_cycles * to_us,
+                "args": args,
+            })
+        if e.mem_cycles > 0:
+            events.append({
+                "name": f"mem {label}", "cat": "hbm", "ph": "X",
+                "pid": SIM_PID, "tid": HBM_TID,
+                "ts": e.mem_start * to_us,
+                "dur": e.mem_cycles * to_us,
+                "args": args,
+            })
+
+    if collector.spans:
+        meta(HOST_PID, None, "host (wall clock)", "process_name")
+        meta(HOST_PID, HOST_TID, "functional layer", "thread_name")
+        base = min(s.start_s for s in collector.spans)
+        for s in collector.spans:
+            events.append({
+                "name": s.name, "cat": s.cat or "host", "ph": "X",
+                "pid": HOST_PID, "tid": HOST_TID,
+                "ts": (s.start_s - base) * 1e6,
+                "dur": s.dur_s * 1e6,
+                "args": {},
+            })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": dict(collector.meta)}
+
+
+def write_chrome_trace(collector: Collector, path: str,
+                       clock_hz: float | None = None) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` as JSON."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(collector, clock_hz), f)
