@@ -13,6 +13,7 @@ and crossover locations.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -21,6 +22,8 @@ import pytest
 from repro.baselines import CpuModel, f1plus_config
 from repro.core import ChipConfig, simulate
 from repro.core.simulator import SimResult
+from repro.obs import collector as obs
+from repro.obs import export as obs_export
 from repro.workloads import ALL_BENCHMARKS, DEEP_BENCHMARKS, benchmark
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -78,6 +81,28 @@ class EvaluationRuns:
 @pytest.fixture(scope="session")
 def runs() -> EvaluationRuns:
     return EvaluationRuns()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_csv_dump():
+    """Opt-in observability dump for the whole evaluation session.
+
+    Set ``REPRO_OBS_CSV=1`` to trace every simulation/compile in the
+    session and write aggregated counters and wall-clock spans to
+    ``benchmarks/results/obs_counters.csv`` / ``obs_spans.csv``.  Off by
+    default: tracing also records one OpEvent per simulated op, which is
+    pure overhead for a normal benchmark run.
+    """
+    if not os.environ.get("REPRO_OBS_CSV"):
+        yield
+        return
+    with obs.collecting() as c:
+        yield
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs_counters.csv").write_text(
+        obs_export.counters_csv(c) + "\n")
+    (RESULTS_DIR / "obs_spans.csv").write_text(
+        obs_export.spans_csv(c) + "\n")
 
 
 def emit(name: str, text: str) -> None:

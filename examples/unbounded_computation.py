@@ -1,10 +1,13 @@
 """Unbounded encrypted computation: the paper's headline capability.
 
 A level-1 CKKS ciphertext cannot absorb a single further multiplication.
-This example keeps multiplying anyway - by bootstrapping whenever the
-budget runs out - and verifies the result against the plaintext
-computation.  This is Fig. 2 of the paper, executed for real at toy
-parameters (takes ~1 minute).
+In **strict** mode (the default reliability policy) the library says so:
+the multiply raises ``NoiseBudgetExhaustedError`` instead of silently
+decrypting to garbage.  In **degrade** mode the context repairs the
+situation itself - it bootstraps whenever the budget runs out and keeps
+going, which is Fig. 2 of the paper executed for real at toy parameters
+(takes ~1 minute).  The auto-inserted bootstraps are visible in the obs
+counters and the exported Chrome trace.
 
     python examples/unbounded_computation.py
 """
@@ -13,48 +16,61 @@ import time
 
 import numpy as np
 
-from repro import Bootstrapper, CkksContext, CkksParams
+from repro import Bootstrapper, CkksContext, CkksParams, obs
+from repro.reliability import NoiseBudgetExhaustedError, ReliabilityPolicy
 
 
 def main():
-    params = CkksParams(degree=512, max_level=15, digits=1,
+    params = CkksParams(degree=512, max_level=19, digits=1,
                         secret_hamming=16, seed=11)
     ctx = CkksContext(params)
     sk = ctx.keygen()
     print(f"context: N={params.degree}, chain of {params.max_level} "
           f"28-bit moduli, 1-digit boosted keyswitching")
 
-    t0 = time.time()
-    bootstrapper = Bootstrapper(ctx, sk)
-    print(f"bootstrapper ready in {time.time() - t0:.1f}s "
-          f"({bootstrapper.keyswitch_count()} keyswitches per refresh, "
-          f"{bootstrapper.levels_consumed()} levels consumed)")
-
     n = params.slots
     values = np.full(n, 0.02)
     ct = ctx.encrypt_values(sk, values, level=1)
     expected = values.copy()
+    factor = np.full(n, 1.1)
     print(f"\nstart: level {ct.level} (multiplicative budget EXHAUSTED)")
 
-    factor = np.full(n, 1.1)
-    total_mults = 0
-    for round_idx in range(3):
-        t0 = time.time()
-        ct = bootstrapper.bootstrap(ct)
-        print(f"round {round_idx + 1}: bootstrapped to level {ct.level} "
-              f"in {time.time() - t0:.1f}s", end="")
-        mults = 0
-        while ct.level > 1:  # spend the refreshed budget
-            ct = ctx.pmult(ct, factor)
-            expected = expected * factor
-            mults += 1
-        total_mults += mults
-        err = np.max(np.abs(ctx.decrypt(sk, ct) - expected))
-        print(f", then multiplied {mults}x down to level {ct.level} "
-              f"(max err {err:.1e})")
+    # -- strict mode: the failure is loud, typed, and actionable ------------
+    try:
+        ctx.pmult(ct, factor)
+    except NoiseBudgetExhaustedError as err:
+        print(f"strict mode refuses the multiply:\n  {err}")
 
-    print(f"\nperformed {total_mults} sequential multiplications on a "
-          "ciphertext that started with budget for zero -")
+    # -- degrade mode: the context bootstraps for us ------------------------
+    t0 = time.time()
+    ctx.policy = ReliabilityPolicy(mode="degrade")
+    ctx.set_bootstrapper(Bootstrapper(ctx, sk))
+    print(f"\nbootstrapper registered in {time.time() - t0:.1f}s; "
+          "switching the context to 'degrade' mode")
+
+    target_mults = 12
+    t0 = time.time()
+    with obs.collecting() as collector:
+        for _ in range(target_mults):
+            ct = ctx.pmult(ct, factor)  # no explicit bootstrap anywhere
+            expected = expected * factor
+        err = np.max(np.abs(ctx.decrypt(sk, ct) - expected))
+    elapsed = time.time() - t0
+
+    boots = int(collector.counters.get("reliability.auto_bootstrap", 0))
+    print(f"performed {target_mults} sequential multiplications in "
+          f"{elapsed:.1f}s (max err {err:.1e})")
+    print(f"the context auto-inserted {boots} bootstraps "
+          f"(counter reliability.auto_bootstrap), ending at level {ct.level}")
+
+    spans = collector.span_totals().get("reliability.auto_bootstrap")
+    if spans:
+        count, seconds = spans
+        print(f"trace shows {count} auto-bootstrap spans "
+              f"totalling {seconds:.1f}s")
+
+    print("\na ciphertext that started with budget for zero multiplies "
+          "ran arbitrarily deep -")
     print("computation depth is unbounded, exactly the paper's claim.")
 
 

@@ -14,6 +14,10 @@ Three layers, mirroring how the paper was evaluated:
   benchmark programs, the F1+ and CPU comparison systems, and the
   analytic models behind the figures.
 
+Two cross-cutting substrates: ``repro.obs`` (tracing/counters, see
+docs/TRACING.md) and ``repro.reliability`` (typed errors, invariant
+guards, graceful degradation, fault injection - docs/RELIABILITY.md).
+
 Quick start::
 
     from repro import CkksContext, CkksParams, ChipConfig, simulate, benchmark
@@ -47,8 +51,9 @@ from repro.fhe import (
     SecretKey,
 )
 from repro.ir import HomOp, Program
+from repro.reliability import ReliabilityPolicy, ReproError
 from repro.workloads import ALL_BENCHMARKS, DEEP_BENCHMARKS, benchmark
-from repro import obs
+from repro import obs, reliability
 
 __version__ = "1.0.0"
 
@@ -63,6 +68,8 @@ __all__ = [
     "CpuModel",
     "HomOp",
     "Program",
+    "ReliabilityPolicy",
+    "ReproError",
     "SecretKey",
     "SimResult",
     "area_breakdown",
@@ -72,6 +79,7 @@ __all__ = [
     "energy_breakdown",
     "f1plus_config",
     "obs",
+    "reliability",
     "simulate",
     "total_area",
 ]

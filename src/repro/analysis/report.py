@@ -4,15 +4,16 @@ from __future__ import annotations
 
 import math
 from typing import Iterable, Sequence
+from repro.reliability.errors import ParameterError
 
 
 def gmean(values: Iterable[float]) -> float:
     """Geometric mean, the paper's aggregate for speedups."""
     vals = [float(v) for v in values]
     if not vals:
-        raise ValueError("gmean of an empty sequence")
+        raise ParameterError("gmean of an empty sequence")
     if any(v <= 0 for v in vals):
-        raise ValueError("gmean requires positive values")
+        raise ParameterError("gmean requires positive values")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
@@ -41,7 +42,7 @@ def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     for row in rows:
         cells = [f"{c:.10g}" if isinstance(c, float) else str(c) for c in row]
         if any("," in c for c in cells):
-            raise ValueError(f"CSV cell contains a comma: {cells}")
+            raise ParameterError(f"CSV cell contains a comma: {cells}")
         lines.append(",".join(cells))
     return "\n".join(lines)
 

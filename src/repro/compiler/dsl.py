@@ -23,6 +23,7 @@ from repro.ir import (
     HomOp,
     Program,
 )
+from repro.reliability.errors import NoiseBudgetExhaustedError, ScheduleError
 
 
 @dataclass(frozen=True)
@@ -34,7 +35,7 @@ class Value:
 
     def __post_init__(self):
         if self.level < 1:
-            raise ValueError("values must carry at least one level")
+            raise ScheduleError("values must carry at least one level")
 
 
 class FheBuilder:
@@ -99,7 +100,7 @@ class FheBuilder:
     def mult(self, a: Value, b: Value, rescale: bool = True,
              repeat: int = 1) -> Value:
         if a.level != b.level:
-            raise ValueError(
+            raise ScheduleError(
                 f"mult operands at different levels ({a.level} vs {b.level});"
                 " mod_drop first"
             )
@@ -139,21 +140,21 @@ class FheBuilder:
 
     def rescale(self, a: Value) -> Value:
         if a.level < 2:
-            raise ValueError("cannot rescale below level 1")
+            raise NoiseBudgetExhaustedError("cannot rescale below level 1")
         out = self._emit(RESCALE, a.level, (a,))
         return Value(out.name, a.level - 1)
 
     def mod_drop(self, a: Value, level: int) -> Value:
         """Level alignment; free in the machine model (rows are ignored)."""
         if level > a.level:
-            raise ValueError("cannot raise a value's level")
+            raise ScheduleError("cannot raise a value's level")
         return Value(a.name, level)
 
     def raise_level(self, a: Value, level: int, tag: str = "") -> Value:
         """Model a ModRaise (bootstrapping step 1): bookkeeping only; the
         compute cost is carried by the ops that follow."""
         if level < a.level:
-            raise ValueError("raise_level must increase the level")
+            raise ScheduleError("raise_level must increase the level")
         return Value(a.name, level)
 
     def build(self) -> Program:

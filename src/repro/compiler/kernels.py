@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 
 from repro.compiler.dsl import FheBuilder, Value
+from repro.reliability.errors import ParameterError
 
 
 def matvec(b: FheBuilder, x: Value, dim: int, weights: str,
@@ -30,7 +31,7 @@ def matvec(b: FheBuilder, x: Value, dim: int, weights: str,
     """
     d = dim if diagonals is None else diagonals
     if d < 1:
-        raise ValueError("need at least one live diagonal")
+        raise ParameterError("need at least one live diagonal")
     n1 = max(1, 1 << round(math.log2(max(1.0, math.sqrt(d)))))
     n2 = -(-d // n1)
     # Baby rotations of the input.
@@ -61,7 +62,7 @@ def polynomial_activation(b: FheBuilder, x: Value, degree: int) -> Value:
     """Paterson-Stockmeyer activation: ~2*sqrt(d) ciphertext mults (op
     count), consuming ~log2(d)+2 levels of depth."""
     if degree < 2:
-        raise ValueError("activation degree must be >= 2")
+        raise ParameterError("activation degree must be >= 2")
     k = 1 << math.ceil(math.log2(math.sqrt(degree + 1)))
     n_chunks = -(-(degree + 1) // k)
     powers = {1: x}

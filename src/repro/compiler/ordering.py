@@ -16,6 +16,7 @@ from collections import defaultdict, deque
 
 from repro.ir import HomOp, Program
 from repro.obs import collector as obs
+from repro.reliability.errors import ScheduleError
 
 
 def order_for_reuse(program: Program) -> Program:
@@ -77,7 +78,7 @@ def _order_for_reuse(program: Program) -> Program:
                     obs.count("compiler.reorder.program_order_picks")
                     break
         if i is None:
-            raise RuntimeError("dependency cycle in program (builder bug)")
+            raise ScheduleError("dependency cycle in program (builder bug)")
         op = ops[i]
         done[i] = True
         scheduled.append(op)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs import collector as obs
+from repro.reliability.errors import ScheduleError
 
 
 @dataclass(frozen=True)
@@ -42,12 +43,12 @@ def plan_refreshes(step_depths, usable_levels: int,
     refresh can provide - the signal to grow the chain or split the step.
     """
     if usable_levels < 1:
-        raise ValueError("a refresh must restore at least one level")
+        raise ScheduleError("a refresh must restore at least one level")
     budget = usable_levels if start_budget is None else start_budget
     refreshes = []
     for i, depth in enumerate(step_depths):
         if depth > usable_levels:
-            raise ValueError(
+            raise ScheduleError(
                 f"step {i} needs depth {depth} > usable {usable_levels}; "
                 "increase L_max or decompose the step"
             )
@@ -81,6 +82,6 @@ def amortized_cost_per_op(placement: Placement, step_costs,
     """Average cost per step including refreshes: Fig. 3's y-axis."""
     steps = len(step_costs)
     if steps == 0:
-        raise ValueError("no steps")
+        raise ScheduleError("no steps")
     total = sum(step_costs) + placement.count * bootstrap_cost
     return total / steps

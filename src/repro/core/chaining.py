@@ -16,6 +16,7 @@ keyswitching with a 3.5x traffic reduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from repro.reliability.errors import ConfigError
 
 # Register-file streams each FU needs when it is NOT chained.
 FU_INPUT_STREAMS = {"ntt": 1, "intt": 1, "aut": 1, "mul": 2, "add": 2,
@@ -31,9 +32,9 @@ class PipelineStage:
 
     def __post_init__(self):
         if self.fu not in FU_INPUT_STREAMS:
-            raise ValueError(f"unknown FU {self.fu!r}")
+            raise ConfigError(f"unknown FU {self.fu!r}")
         if self.chained_inputs > FU_INPUT_STREAMS[self.fu]:
-            raise ValueError(f"{self.fu} has no {self.chained_inputs} inputs")
+            raise ConfigError(f"{self.fu} has no {self.chained_inputs} inputs")
 
 
 @dataclass

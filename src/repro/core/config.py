@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.reliability.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class ChipConfig:
@@ -57,12 +59,41 @@ class ChipConfig:
     fixed_network: bool = True        # False: F1-style crossbar + residue tiling
 
     def __post_init__(self):
+        if self.lane_groups < 1:
+            raise ConfigError("need at least one lane group",
+                              lane_groups=self.lane_groups)
         if self.lanes % self.lane_groups:
-            raise ValueError("lanes must divide evenly into lane groups")
+            raise ConfigError("lanes must divide evenly into lane groups",
+                              lanes=self.lanes, lane_groups=self.lane_groups)
         if self.max_degree & (self.max_degree - 1):
-            raise ValueError("max_degree must be a power of two")
+            raise ConfigError("max_degree must be a power of two",
+                              max_degree=self.max_degree)
         if self.lanes & (self.lanes - 1):
-            raise ValueError("lanes must be a power of two")
+            raise ConfigError("lanes must be a power of two",
+                              lanes=self.lanes)
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock must be positive",
+                              clock_ghz=self.clock_ghz)
+        if self.hbm_phys < 1 or self.hbm_gbps_per_phy <= 0:
+            raise ConfigError(
+                "config has no HBM bandwidth; nothing can stream",
+                hbm_phys=self.hbm_phys,
+                gbps_per_phy=self.hbm_gbps_per_phy,
+            )
+        if self.register_file_mb <= 0:
+            raise ConfigError("register file must have positive capacity",
+                              register_file_mb=self.register_file_mb)
+        if self.rf_ports < 1:
+            raise ConfigError("register file needs at least one port",
+                              rf_ports=self.rf_ports)
+        if self.bytes_per_word <= 0:
+            raise ConfigError("bytes_per_word must be positive",
+                              bytes_per_word=self.bytes_per_word)
+        for attr in ("ntt_units", "mul_units", "add_units", "aut_units",
+                     "crb_pipelines"):
+            if getattr(self, attr) < 1:
+                raise ConfigError(f"{attr} must be >= 1",
+                                  **{attr: getattr(self, attr)})
 
     # -- derived quantities --------------------------------------------------
 

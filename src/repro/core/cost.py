@@ -34,6 +34,7 @@ from repro.ir import (
     ROTATE,
     HomOp,
 )
+from repro.reliability.errors import ScheduleError
 
 CHAINING_PORT_REDUCTION = 3.5  # Sec. 5.4: measured RF traffic reduction
 
@@ -297,7 +298,7 @@ def op_cost(cfg: ChipConfig, op: HomOp, degree: int) -> OpCost:
     elif op.kind in (INPUT, OUTPUT):
         pass  # pure data movement; the simulator charges the traffic
     else:
-        raise ValueError(f"no cost model for op kind {op.kind!r}")
+        raise ScheduleError(f"no cost model for op kind {op.kind!r}")
     if op.repeat > 1:
         scale = op.repeat
         cost.fu_elements = {k: v * scale for k, v in cost.fu_elements.items()}

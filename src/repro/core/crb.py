@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.reliability.errors import ConfigError, ParameterError
 
 
 @dataclass
@@ -59,12 +60,12 @@ class CrbUnit:
         l_src, degree = scaled_inputs.shape
         l_dst = len(dest_moduli)
         if l_dst > self.pipelines:
-            raise ValueError(
+            raise ConfigError(
                 f"{l_dst} destination residues exceed {self.pipelines} "
                 "pipelines; ciphertext larger than the unit's design point"
             )
         if constants.shape != (l_src, l_dst):
-            raise ValueError("constant matrix shape mismatch")
+            raise ParameterError("constant matrix shape mismatch")
         moduli = np.asarray(dest_moduli, dtype=np.uint64)
         acc = np.zeros((l_dst, degree), dtype=np.uint64)
         # Broadcast loop: one pass per input residue; all pipelines MAC.

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.reliability.errors import ParameterError
 
 BUFFER_DEPTH = 16  # words per lane (Sec. 5.2)
 
@@ -51,7 +52,7 @@ class KshGenUnit:
                  buffer_depth: int = BUFFER_DEPTH,
                  attempts_per_cycle: int = 2):
         if modulus >= 1 << 31:
-            raise ValueError("modulus must be below 2^31")
+            raise ParameterError("modulus must be below 2^31")
         self.modulus = modulus
         self.extra_bits = extra_bits
         self.buffer_depth = buffer_depth

@@ -33,6 +33,7 @@ from repro.core.cost import (
 )
 from repro.ir import INPUT, OUTPUT, Program
 from repro.obs import collector as obs
+from repro.reliability.validate import validate_program
 
 # Object categories for traffic accounting (Fig. 10a).
 KSH = "ksh"
@@ -162,11 +163,7 @@ def _next_use_table(program: Program) -> list[dict[str, int]]:
 
 def simulate(program: Program, cfg: ChipConfig) -> SimResult:
     """Run ``program`` on machine ``cfg``; see module docstring."""
-    if program.degree > cfg.max_degree:
-        raise ValueError(
-            f"{program.name} uses N={program.degree}, above {cfg.name}'s "
-            f"native maximum {cfg.max_degree}"
-        )
+    validate_program(program, cfg)
     n = program.degree
     rf = _RegisterFile(cfg.register_file_words)
     next_use = _next_use_table(program)
@@ -208,7 +205,8 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
 
     def record(op, index: int, crit_before: float, mem_before: float,
                compute_start: float, compute_cycles: float,
-               stall: float, mem_words: float) -> None:
+               stall: float, mem_words: float,
+               fu_cycles: dict[str, float] | None = None) -> None:
         """Emit one OpEvent; ``cycles`` is the critical-path advance, so
         the events telescope exactly to the final cycle count."""
         tr.emit_op(obs.OpEvent(
@@ -218,6 +216,7 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
             compute_start=compute_start, compute_cycles=compute_cycles,
             mem_start=mem_before, mem_cycles=mem_clock - mem_before,
             stall_cycles=stall, mem_words=mem_words, evictions=evicted[0],
+            fu_cycles=dict(fu_cycles) if fu_cycles else {},
         ))
         tr.count("sim.ops")
         tr.count(f"sim.ops.{op.kind}")
@@ -291,14 +290,16 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
         compute_start = max(comp_clock, mem_clock)
         stall = compute_start - comp_clock
         comp_clock = compute_start + cycles
+        op_fu_cycles: dict[str, float] = {}
         for cls, elements in cost.fu_elements.items():
             capacity = max(1.0, _unit_capacity(cfg, cls))
+            op_fu_cycles[cls] = elements / capacity
             fu_busy[cls] = fu_busy.get(cls, 0.0) + elements / capacity
         if tr is not None:
             if chained and cfg.chaining:
                 tr.count("sim.chain_hits")
             record(op, i, crit_before, mem_before, compute_start, cycles,
-                   stall, mem_words)
+                   stall, mem_words, op_fu_cycles)
 
     total_cycles = max(comp_clock, mem_clock)
     return SimResult(

@@ -19,6 +19,7 @@ the words each step moves (the 4E words/cycle budget of Sec. 4.2).
 from __future__ import annotations
 
 import numpy as np
+from repro.reliability.errors import ConfigError, ParameterError
 
 
 class TransposeNetwork:
@@ -26,7 +27,7 @@ class TransposeNetwork:
 
     def __init__(self, group_width: int, groups: int):
         if group_width % groups:
-            raise ValueError("group width must be divisible by group count")
+            raise ConfigError("group width must be divisible by group count")
         self.eg = group_width     # E_G: matrix dimension (= lanes per group)
         self.g = groups
 
@@ -36,7 +37,7 @@ class TransposeNetwork:
         """Round-robin rows across lane groups (Fig. 7, step 0)."""
         matrix = np.asarray(matrix)
         if matrix.shape != (self.eg, self.eg):
-            raise ValueError(f"matrix must be {self.eg}x{self.eg}")
+            raise ParameterError(f"matrix must be {self.eg}x{self.eg}")
         return [matrix[i::self.g].copy() for i in range(self.g)]
 
     def collect(self, shards: list[np.ndarray]) -> np.ndarray:

@@ -32,6 +32,11 @@ from repro.fhe.poly import COEFF, EVAL, RnsPoly
 from repro.fhe.primes import find_ntt_primes, is_prime
 from repro.fhe.rns import RnsBasis
 from repro.fhe.sampling import gaussian_error, ternary_secret
+from repro.reliability.errors import (
+    LevelMismatchError,
+    ParameterError,
+    ScaleMismatchError,
+)
 
 DEFAULT_PLAIN_MODULUS = 65537  # Fermat prime: NTT-friendly for N <= 32768
 
@@ -47,11 +52,12 @@ class BgvParams:
 
     def __post_init__(self):
         if self.degree & (self.degree - 1):
-            raise ValueError("degree must be a power of two")
+            raise ParameterError("degree must be a power of two",
+                                 degree=self.degree)
         if not is_prime(self.plain_modulus):
-            raise ValueError("plain modulus must be prime for slot packing")
+            raise ParameterError("plain modulus must be prime for slot packing")
         if (self.plain_modulus - 1) % (2 * self.degree):
-            raise ValueError(
+            raise ParameterError(
                 "plain modulus must be NTT-friendly (1 mod 2N) for batching"
             )
 
@@ -153,14 +159,15 @@ class BgvContext:
 
     def add(self, a: BgvCiphertext, b: BgvCiphertext) -> BgvCiphertext:
         if a.plain_factor != b.plain_factor:
-            raise ValueError("operands carry different modswitch factors")
+            raise ScaleMismatchError("operands carry different modswitch factors")
         return BgvCiphertext(a.c0 + b.c0, a.c1 + b.c1, a.plain_factor)
 
     def multiply(self, a: BgvCiphertext, b: BgvCiphertext,
                  relin) -> BgvCiphertext:
         """Tensor + relinearize (standard keyswitching, t-scaled errors)."""
         if a.basis != b.basis:
-            raise ValueError("operands at different levels")
+            raise LevelMismatchError("operands at different levels",
+                                     left_level=a.level, right_level=b.level)
         d0 = a.c0 * b.c0
         d1 = a.c0 * b.c1 + a.c1 * b.c0
         d2 = a.c1 * b.c1

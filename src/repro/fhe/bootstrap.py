@@ -42,6 +42,8 @@ from repro.fhe.ckks import Ciphertext, CkksContext, Plaintext, SecretKey
 from repro.fhe.linear import RealLinearTransform
 from repro.fhe.poly import EVAL, RnsPoly
 from repro.fhe.polyeval import evaluate_polynomial, mul_rescale
+from repro.obs import collector as obs
+from repro.reliability.errors import LevelMismatchError
 
 
 @dataclass(frozen=True)
@@ -165,7 +167,10 @@ class Bootstrapper:
         """
         ctx = self.ctx
         if ct.level != 1:
-            raise ValueError("mod_raise expects a fully depleted (L=1) input")
+            raise LevelMismatchError(
+                "mod_raise expects a fully depleted (L=1) input",
+                level=ct.level,
+            )
         full = ctx.basis_at(ctx.params.max_level)
         q1 = ct.basis.moduli[0]
 
@@ -192,6 +197,11 @@ class Bootstrapper:
 
     def bootstrap(self, ct: Ciphertext) -> Ciphertext:
         """Refresh a depleted ciphertext; see module docstring for stages."""
+        with obs.span("fhe.bootstrap", "fhe"):
+            obs.count("fhe.bootstrap")
+            return self._bootstrap(ct)
+
+    def _bootstrap(self, ct: Ciphertext) -> Ciphertext:
         ctx = self.ctx
         input_scale = ct.scale
         q1 = float(ct.basis.moduli[0])

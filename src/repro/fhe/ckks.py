@@ -7,12 +7,21 @@ parameters follow the paper's conventions: 28-bit RNS moduli, boosted
 t-digit keyswitching with seeded hints, dense or sparse ternary secrets.
 
 The scheme is exact about its own bookkeeping (levels, scales, bases) and
-approximate about values, as CKKS is by construction.
+approximate about values, as CKKS is by construction.  Every
+ciphertext-consuming operation guards its invariants through
+`repro.reliability.guards`, raising typed errors
+(:class:`LevelMismatchError`, :class:`ScaleMismatchError`,
+:class:`NoiseBudgetExhaustedError`) instead of silently producing garbage.
+A context built with a ``ReliabilityPolicy`` in ``"degrade"`` mode repairs
+what it can: operands whose scale outgrew the canonical ~q get a rescale
+auto-inserted, and an op that needs levels the ciphertext no longer has
+triggers an automatic bootstrap (see :meth:`CkksContext.set_bootstrapper`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import log2
 
 import numpy as np
 
@@ -30,6 +39,19 @@ from repro.fhe.sampling import (
     ERROR_SIGMA,
     error_poly,
     ternary_secret,
+)
+from repro.obs import collector as obs
+from repro.reliability.checksums import limb_checksums, verify_limbs
+from repro.reliability.errors import (
+    LevelMismatchError,
+    NoiseBudgetExhaustedError,
+    ParameterError,
+)
+from repro.reliability.guards import (
+    ReliabilityPolicy,
+    check_min_level,
+    check_same_basis,
+    check_scale_match,
 )
 
 # Relative scale mismatch allowed when adding.  Evaluation code keeps scales
@@ -61,17 +83,22 @@ class CkksParams:
 
     def __post_init__(self):
         if self.degree & (self.degree - 1):
-            raise ValueError("degree must be a power of two")
+            raise ParameterError("degree must be a power of two",
+                                 degree=self.degree)
         if self.max_level < 1:
-            raise ValueError("need at least one modulus")
+            raise ParameterError("need at least one modulus",
+                                 max_level=self.max_level)
         if self.digits < 1 or self.digits > self.max_level:
-            raise ValueError("digits must be in [1, max_level]")
+            raise ParameterError("digits must be in [1, max_level]",
+                                 digits=self.digits,
+                                 max_level=self.max_level)
         aux = self.aux_level
         if aux is None:
             aux = -(-self.max_level // self.digits)  # ceil
             object.__setattr__(self, "aux_level", aux)
         if aux < 1:
-            raise ValueError("special basis needs at least one prime")
+            raise ParameterError("special basis needs at least one prime",
+                                 aux_level=aux)
 
     @property
     def alpha(self) -> int:
@@ -99,15 +126,24 @@ class Ciphertext:
     """A CKKS ciphertext (c0, c1) with scale and level bookkeeping.
 
     Decrypts to c0 + c1*s.  ``level`` equals the number of live RNS primes,
-    the paper's remaining multiplicative budget L.
+    the paper's remaining multiplicative budget L.  ``budget`` carries the
+    live worst-case :class:`~repro.fhe.noise.NoiseBudget` when the owning
+    context tracks noise; ``integrity`` the per-limb checksums of (c0, c1)
+    when the context seals ciphertexts (`repro.reliability.checksums`).
     """
 
-    def __init__(self, c0: RnsPoly, c1: RnsPoly, scale: float):
+    def __init__(self, c0: RnsPoly, c1: RnsPoly, scale: float,
+                 budget=None, integrity=None):
         if c0.basis != c1.basis:
-            raise ValueError("ciphertext halves disagree on basis")
+            raise LevelMismatchError(
+                "ciphertext halves disagree on basis",
+                c0_level=c0.level, c1_level=c1.level,
+            )
         self.c0 = c0
         self.c1 = c1
         self.scale = scale
+        self.budget = budget
+        self.integrity = integrity
 
     @property
     def level(self) -> int:
@@ -122,7 +158,9 @@ class Ciphertext:
         return self.c0.degree
 
     def copy(self) -> "Ciphertext":
-        return Ciphertext(self.c0.copy(), self.c1.copy(), self.scale)
+        budget = self.budget.clone() if self.budget is not None else None
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.scale,
+                          budget=budget, integrity=self.integrity)
 
     def __repr__(self) -> str:
         return (
@@ -157,10 +195,17 @@ class CkksContext:
     encoder, and the keyswitch hints it has generated.  Methods that consume
     hints take them explicitly so tests can exercise hint reuse, exactly as
     the compiler's reuse analysis does for KSH traffic.
+
+    ``policy`` selects how invariant violations are handled (strict typed
+    errors vs graceful degradation), whether a live noise budget is
+    threaded through ciphertexts, and whether results are sealed with
+    per-limb checksums; see :class:`repro.reliability.ReliabilityPolicy`.
     """
 
-    def __init__(self, params: CkksParams):
+    def __init__(self, params: CkksParams,
+                 policy: ReliabilityPolicy | None = None):
         self.params = params
+        self.policy = policy or ReliabilityPolicy()
         primes = find_ntt_primes(
             params.max_level + params.aux_level,
             params.modulus_bits,
@@ -175,13 +220,152 @@ class CkksContext:
         self.rng = np.random.default_rng(params.seed)
         self.default_scale = float(self.q_basis.moduli[-1])
         self._hint_seeds = iter(range(10_000_000, 2**31))
+        self._bootstrapper = None
+        self._degrading = False
 
     # -- bases -------------------------------------------------------------
 
     def basis_at(self, level: int) -> RnsBasis:
         if not 1 <= level <= self.params.max_level:
-            raise ValueError(f"level {level} outside [1, {self.params.max_level}]")
+            raise ParameterError(
+                f"level {level} outside [1, {self.params.max_level}]",
+                level=level,
+            )
         return self.q_basis[:level]
+
+    # -- reliability plumbing ----------------------------------------------
+
+    def set_bootstrapper(self, bootstrapper) -> None:
+        """Register the bootstrapper graceful degradation refreshes with."""
+        self._bootstrapper = bootstrapper
+
+    def seal(self, ct: Ciphertext) -> Ciphertext:
+        """Attach per-limb checksums (no-op unless the policy asks)."""
+        if not self.policy.checksums:
+            return ct
+        with obs.span("reliability.checksum.seal", "reliability"):
+            ct.integrity = (
+                limb_checksums(ct.c0.data, ct.c0.basis.moduli),
+                limb_checksums(ct.c1.data, ct.c1.basis.moduli),
+            )
+        return ct
+
+    def verify_integrity(self, ct: Ciphertext,
+                         what: str = "ciphertext") -> None:
+        """Check a sealed ciphertext's limbs; raises FaultDetectedError."""
+        if ct.integrity is None:
+            return
+        with obs.span("reliability.checksum.verify", "reliability"):
+            verify_limbs(ct.c0.data, ct.c0.basis.moduli, ct.integrity[0],
+                         f"{what}.c0")
+            verify_limbs(ct.c1.data, ct.c1.basis.moduli, ct.integrity[1],
+                         f"{what}.c1")
+
+    def _finish(self, out: Ciphertext, kind: str,
+                *parents: Ciphertext) -> Ciphertext:
+        """Post-op bookkeeping: thread the noise budget, seal the result."""
+        policy = self.policy
+        if policy.track_noise:
+            self._thread_budget(out, kind, parents)
+        if policy.checksums:
+            self.seal(out)
+        return out
+
+    def _thread_budget(self, out, kind, parents) -> None:
+        budgets = [p.budget for p in parents
+                   if isinstance(p, Ciphertext) and p.budget is not None]
+        if not budgets:
+            return
+        budget = budgets[0].clone()
+        for other in budgets[1:]:
+            budget.noise_bits = max(budget.noise_bits, other.noise_bits)
+        if kind == "add":
+            budget.add()
+        elif kind == "pmult":
+            budget.pmult()
+        elif kind == "multiply":
+            budget.cmult()
+        elif kind == "keyswitch":
+            budget.keyswitch()
+        elif kind == "rescale":
+            budget.rescale_op()
+        elif kind == "bootstrap":
+            budget.refresh(out.level)
+        budget.levels = out.level  # structural truth wins
+        out.budget = budget
+        if (budget.headroom_bits <= 0 and not self.policy.degrade
+                and not self._degrading):
+            raise NoiseBudgetExhaustedError(
+                f"{kind} left no noise headroom; decryption would fail - "
+                "bootstrap first or use a 'degrade'-mode context",
+                op=kind, level=out.level,
+                noise_bits=round(budget.noise_bits, 1),
+            )
+
+    def _auto_bootstrap(self, ct: Ciphertext, op: str) -> Ciphertext:
+        """Degrade-mode repair: refresh a depleted ciphertext in place."""
+        if self._bootstrapper is None:
+            raise NoiseBudgetExhaustedError(
+                f"{op} exhausted the modulus chain and no bootstrapper is "
+                "registered; call set_bootstrapper() (or bootstrap "
+                "explicitly)",
+                op=op, level=ct.level,
+            )
+        obs.count("reliability.auto_bootstrap")
+        self._degrading = True
+        try:
+            with obs.span("reliability.auto_bootstrap", "reliability"):
+                if ct.level > 1:
+                    ct = self.drop_to_level(ct, 1)
+                refreshed = self._bootstrapper.bootstrap(ct)
+        finally:
+            self._degrading = False
+        return self._finish(refreshed, "bootstrap", ct)
+
+    def _ensure_level(self, ct: Ciphertext, needed: int,
+                      op: str) -> Ciphertext:
+        """Strict: raise if the level is gone.  Degrade: bootstrap."""
+        if ct.level >= needed:
+            return ct
+        if self.policy.degrade and not self._degrading:
+            return self._auto_bootstrap(ct, op)
+        check_min_level(ct, needed, op)
+        return ct  # unreachable; check_min_level raised
+
+    def _normalize_scale(self, ct: Ciphertext, op: str) -> Ciphertext:
+        """Degrade-mode repair: rescale operands whose scale outgrew ~q.
+
+        Un-rescaled products carry scale ~q^2; multiplying them again
+        would push the scale past the live modulus.  Auto-inserting the
+        deferred rescale restores the canonical ~q scale (each pass
+        divides by one 28-bit prime), exactly what a library's
+        rescale-before-multiply pass does.
+        """
+        threshold = 2 * self.params.modulus_bits - 2
+        while log2(ct.scale) >= threshold and ct.level >= 2:
+            obs.count("reliability.auto_rescale")
+            with obs.span("reliability.auto_rescale", "reliability"):
+                ct = self.rescale(ct)
+        return ct
+
+    def _prepare_pair(self, a: Ciphertext, b: Ciphertext,
+                      op: str) -> tuple[Ciphertext, Ciphertext]:
+        """Degrade-mode repairs before a ct x ct multiply."""
+        if not self.policy.degrade or self._degrading:
+            return a, b
+        if a is b:
+            a = b = self._normalize_scale(
+                self._ensure_level(a, self.policy.min_level + 1, op), op)
+            return a, b
+        a = self._normalize_scale(
+            self._ensure_level(a, self.policy.min_level + 1, op), op)
+        b = self._normalize_scale(
+            self._ensure_level(b, self.policy.min_level + 1, op), op)
+        if a.level != b.level:  # repairs may have desynced the bases
+            target = min(a.level, b.level)
+            a = self.drop_to_level(a, target)
+            b = self.drop_to_level(b, target)
+        return a, b
 
     # -- key generation ------------------------------------------------------
 
@@ -215,16 +399,17 @@ class CkksContext:
         return generate_hint(
             s * s, sk.poly(self.q_basis), self.q_basis, None, 1,
             self.rng, next(self._hint_seeds), self.params.error_sigma,
-            label="relin-std",
+            label="relin-std", integrity=self.policy.checksums,
         )
 
     def _make_hint(self, s_old, sk, digits, label) -> KeySwitchHint:
         digits = self.params.digits if digits is None else digits
         alpha = -(-self.params.max_level // digits)
         if alpha > len(self.aux_basis):
-            raise ValueError(
+            raise ParameterError(
                 f"{digits}-digit keyswitching needs {alpha} special primes, "
-                f"context has {len(self.aux_basis)}"
+                f"context has {len(self.aux_basis)}",
+                digits=digits, alpha=alpha,
             )
         aux_used = (
             self.aux_basis[:alpha]
@@ -239,7 +424,7 @@ class CkksContext:
         return generate_hint(
             s_old_used, sk.poly(full_used), self.q_basis, aux_used,
             alpha, self.rng, next(self._hint_seeds), self.params.error_sigma,
-            label=label,
+            label=label, integrity=self.policy.checksums,
         )
 
     def rotation_exponent(self, steps: int) -> int:
@@ -264,7 +449,16 @@ class CkksContext:
         e = error_poly(basis, degree, self.rng, self.params.error_sigma)
         s = sk.poly(basis)
         c0 = plaintext.poly.to_eval() + e - a * s
-        return Ciphertext(c0, a, plaintext.scale)
+        ct = Ciphertext(c0, a, plaintext.scale)
+        if self.policy.track_noise:
+            from repro.fhe.noise import NoiseBudget  # deferred: noise imports us
+
+            ct.budget = NoiseBudget(
+                degree=degree,
+                modulus_bits_per_level=self.params.modulus_bits,
+                levels=ct.level, sigma=self.params.error_sigma,
+            )
+        return self.seal(ct) if self.policy.checksums else ct
 
     def encrypt_values(self, sk: SecretKey, values,
                        level: int | None = None) -> Ciphertext:
@@ -272,6 +466,8 @@ class CkksContext:
 
     def decrypt(self, sk: SecretKey, ct: Ciphertext) -> np.ndarray:
         """Decrypt to complex slot values."""
+        if self.policy.checksums:
+            self.verify_integrity(ct, "decrypt operand")
         s = sk.poly(ct.basis)
         m = (ct.c0 + ct.c1 * s).to_coeff()
         return self.encoder.decode(m.to_integers(), ct.scale)
@@ -283,26 +479,33 @@ class CkksContext:
     # -- additive operations ---------------------------------------------------
 
     def _check_add(self, a: Ciphertext, b) -> None:
-        if abs(a.scale - b.scale) > _SCALE_TOLERANCE * a.scale:
-            raise ValueError(
-                f"scale mismatch: {a.scale:.6g} vs {b.scale:.6g}; rescale or "
-                "re-encode first"
-            )
+        check_scale_match(a, b, "add", _SCALE_TOLERANCE)
 
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        check_same_basis(a, b, "add")
         self._check_add(a, b)
-        return Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.scale)
+        out = Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.scale)
+        return self._finish(out, "add", a, b)
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        check_same_basis(a, b, "sub")
         self._check_add(a, b)
-        return Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.scale)
+        out = Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.scale)
+        return self._finish(out, "add", a, b)
 
     def negate(self, a: Ciphertext) -> Ciphertext:
-        return Ciphertext(-a.c0, -a.c1, a.scale)
+        return self._finish(Ciphertext(-a.c0, -a.c1, a.scale), "copy", a)
 
     def add_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
+        if pt.poly.basis != a.basis:
+            raise LevelMismatchError(
+                "plaintext encoded at a different level than the "
+                "ciphertext; re-encode at the ciphertext's level",
+                ct_level=a.level, pt_level=pt.level,
+            )
         self._check_add(a, pt)
-        return Ciphertext(a.c0 + pt.poly.to_eval(), a.c1.copy(), a.scale)
+        out = Ciphertext(a.c0 + pt.poly.to_eval(), a.c1.copy(), a.scale)
+        return self._finish(out, "add", a)
 
     def add_scalar(self, a: Ciphertext, value: complex) -> Ciphertext:
         pt = self.encode([value], level=a.level, scale=a.scale)
@@ -312,8 +515,15 @@ class CkksContext:
 
     def mul_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Ciphertext x plaintext; scales multiply, no keyswitch needed."""
+        if pt.poly.basis != a.basis:
+            raise LevelMismatchError(
+                "plaintext encoded at a different level than the "
+                "ciphertext; re-encode at the ciphertext's level",
+                ct_level=a.level, pt_level=pt.level,
+            )
         p = pt.poly.to_eval()
-        return Ciphertext(a.c0 * p, a.c1 * p, a.scale * pt.scale)
+        out = Ciphertext(a.c0 * p, a.c1 * p, a.scale * pt.scale)
+        return self._finish(out, "mul_plain", a)
 
     def mul_scalar(self, a: Ciphertext, value: complex,
                    scale: float | None = None) -> Ciphertext:
@@ -334,6 +544,7 @@ class CkksContext:
         rescales to ``result_scale`` exactly.  The paper's compiler does the
         equivalent bookkeeping when it schedules plaintext operands.
         """
+        a = self._ensure_level(a, 2, "pmult")
         if result_scale is None:
             result_scale = a.scale
         q_last = float(a.basis.moduli[-1])
@@ -342,7 +553,7 @@ class CkksContext:
         out = self.rescale(self.mul_plain(a, pt))
         # Float bookkeeping may be off by an ulp; pin the declared scale.
         out.scale = result_scale
-        return out
+        return self._finish(out, "pmult", a)
 
     def multiply(self, a: Ciphertext, b: Ciphertext,
                  relin: KeySwitchHint) -> Ciphertext:
@@ -351,13 +562,18 @@ class CkksContext:
         (a0 + a1 s)(b0 + b1 s) = d0 + d1 s + d2 s^2; the d2 term is folded
         back to degree one by keyswitching with the s^2 -> s hint.
         """
-        if a.basis != b.basis:
-            raise ValueError("operands must be at the same level")
+        a, b = self._prepare_pair(a, b, "multiply")
+        check_same_basis(a, b, "multiply")
+        if self.policy.checksums:
+            self.verify_integrity(a, "multiply operand")
+            if b is not a:
+                self.verify_integrity(b, "multiply operand")
         d0 = a.c0 * b.c0
         d1 = a.c0 * b.c1 + a.c1 * b.c0
         d2 = a.c1 * b.c1
         ks0, ks1 = self._apply_hint(d2, relin)
-        return Ciphertext(d0 + ks0, d1 + ks1, a.scale * b.scale)
+        out = Ciphertext(d0 + ks0, d1 + ks1, a.scale * b.scale)
+        return self._finish(out, "multiply", a, b)
 
     def square(self, a: Ciphertext, relin: KeySwitchHint) -> Ciphertext:
         return self.multiply(a, a, relin)
@@ -374,22 +590,33 @@ class CkksContext:
 
     def rescale(self, a: Ciphertext) -> Ciphertext:
         """Drop the last prime, dividing the scale by it (trims noise)."""
+        a = self._ensure_level(a, 2, "rescale")
         q_last = a.basis.moduli[-1]
-        return Ciphertext(
-            a.c0.rescale(), a.c1.rescale(), a.scale / q_last
-        )
+        out = Ciphertext(a.c0.rescale(), a.c1.rescale(), a.scale / q_last)
+        return self._finish(out, "rescale", a)
 
     def mod_drop(self, a: Ciphertext, levels: int = 1) -> Ciphertext:
         """Discard trailing primes without dividing (level alignment)."""
+        if levels >= a.level:
+            raise NoiseBudgetExhaustedError(
+                "mod_drop would discard every live prime",
+                level=a.level, dropping=levels,
+            )
         c0, c1 = a.c0, a.c1
         for _ in range(levels):
             c0 = c0.drop_last_modulus()
             c1 = c1.drop_last_modulus()
-        return Ciphertext(c0, c1, a.scale)
+        return self._finish(Ciphertext(c0, c1, a.scale), "drop", a)
 
     def drop_to_level(self, a: Ciphertext, level: int) -> Ciphertext:
         if level > a.level:
-            raise ValueError("cannot raise level by dropping")
+            raise LevelMismatchError(
+                "cannot raise level by dropping; only bootstrapping "
+                "restores levels",
+                level=a.level, requested=level,
+            )
+        if level == a.level:
+            return a
         return self.mod_drop(a, a.level - level)
 
     # -- rotations ---------------------------------------------------------------
@@ -409,7 +636,10 @@ class CkksContext:
         return self._automorphism_and_switch(a, 2 * self.params.degree - 1, hint)
 
     def _automorphism_and_switch(self, a, exponent, hint) -> Ciphertext:
+        if self.policy.checksums:
+            self.verify_integrity(a, "keyswitch operand")
         c0 = a.c0.automorphism(exponent)
         c1 = a.c1.automorphism(exponent)
         ks0, ks1 = self._apply_hint(c1, hint)
-        return Ciphertext(c0 + ks0, ks1, a.scale)
+        out = Ciphertext(c0 + ks0, ks1, a.scale)
+        return self._finish(out, "keyswitch", a)

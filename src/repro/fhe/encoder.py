@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.fhe.poly import RnsPoly
 from repro.fhe.rns import RnsBasis
+from repro.reliability.errors import ParameterError
 
 
 class CkksEncoder:
@@ -23,7 +24,8 @@ class CkksEncoder:
 
     def __init__(self, degree: int):
         if degree & (degree - 1) or degree < 4:
-            raise ValueError("degree must be a power of two >= 4")
+            raise ParameterError("degree must be a power of two >= 4",
+                                 degree=degree)
         self.degree = degree
         self.slots = degree // 2
         # rot_group[j] = 5^j mod 2N: the slot-j evaluation exponent.
@@ -70,9 +72,13 @@ class CkksEncoder:
         """
         values = np.asarray(values, dtype=np.complex128).ravel()
         if len(values) > self.slots:
-            raise ValueError(f"at most {self.slots} slots available")
+            raise ParameterError(f"at most {self.slots} slots available",
+                                 got=len(values))
         if self.slots % len(values):
-            raise ValueError("slot count must be a multiple of the value count")
+            raise ParameterError(
+                "slot count must be a multiple of the value count",
+                slots=self.slots, got=len(values),
+            )
         full = np.tile(values, self.slots // len(values))
         coeffs = self.unembed(full) * scale
         limit = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0

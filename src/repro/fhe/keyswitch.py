@@ -34,12 +34,16 @@ from repro.fhe.poly import EVAL, RnsPoly
 from repro.fhe.rns import RnsBasis
 from repro.fhe.sampling import error_poly, seeded_uniform_poly
 from repro.obs import collector as obs
+from repro.reliability import faults as _faults
+from repro.reliability import guards as _guards
+from repro.reliability.checksums import limb_checksums, verify_limbs
+from repro.reliability.errors import ParameterError
 
 
 def digit_bases(basis: RnsBasis, alpha: int) -> list[RnsBasis]:
     """Split a basis into contiguous digits of at most ``alpha`` primes."""
     if alpha <= 0:
-        raise ValueError("digit size must be positive")
+        raise ParameterError("digit size must be positive", alpha=alpha)
     moduli = basis.moduli
     return [
         RnsBasis(moduli[i : i + alpha]) for i in range(0, len(moduli), alpha)
@@ -62,6 +66,10 @@ class KeySwitchHint:
     full_basis: RnsBasis  # Q_max extended by P
     aux_count: int  # number of special primes (0 => standard keyswitching)
     label: str = "ksh"
+    # Per-digit (b_sums, a_sums) limb checksums over the full basis, present
+    # when the hint was generated with integrity=True; verified on every
+    # restricted_rows() load while the reliability integrity switch is on.
+    checksums: list | None = None
     _a_cache: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -89,13 +97,30 @@ class KeySwitchHint:
         return rows * self.b_polys[0].degree
 
     def restricted_rows(self, index: int, basis: RnsBasis) -> tuple[np.ndarray, np.ndarray]:
-        """(b, a) residue rows of digit ``index`` restricted to ``basis``."""
+        """(b, a) residue rows of digit ``index`` restricted to ``basis``.
+
+        This is the hint's HBM trust boundary: the fancy-index copy below
+        models the streaming load, so an installed fault injector corrupts
+        the *transferred* rows (never the stored hint), and the integrity
+        switch verifies the transfer against the generation-time checksums.
+        """
         full = self.full_basis.moduli
         take = [full.index(q) for q in basis.moduli]
-        return (
-            self.b_polys[index].data[take],
-            self.a_poly(index).data[take],
-        )
+        b_rows = self.b_polys[index].data[take]
+        a_rows = self.a_poly(index).data[take]
+        injector = _faults.active_injector()
+        if injector is not None:
+            injector.maybe_corrupt(_faults.HBM, b_rows)
+        integ = _guards.integrity_active()
+        if (integ is not None and integ.verify_hints
+                and self.checksums is not None):
+            b_sums, a_sums = self.checksums[index]
+            with obs.span("reliability.hint.verify", "reliability"):
+                verify_limbs(b_rows, basis.moduli, b_sums[take],
+                             f"hint {self.label} digit {index} (b)")
+                verify_limbs(a_rows, basis.moduli, a_sums[take],
+                             f"hint {self.label} digit {index} (a)")
+        return b_rows, a_rows
 
 
 def generate_hint(
@@ -109,6 +134,7 @@ def generate_hint(
     sigma: float = 3.2,
     label: str = "ksh",
     error_scale: int = 1,
+    integrity: bool = False,
 ) -> KeySwitchHint:
     """Generate a keyswitch hint for ``s_old -> s_new``.
 
@@ -122,7 +148,11 @@ def generate_hint(
     """
     full = q_basis if aux_basis is None else q_basis.extend(aux_basis)
     if s_old.basis != full or s_new.basis != full:
-        raise ValueError("keys must be expressed over the full basis Q*P")
+        raise ParameterError(
+            "keys must be expressed over the full basis Q*P",
+            s_old_level=s_old.level, s_new_level=s_new.level,
+            full_level=len(full),
+        )
     obs.count("fhe.keyswitch.hints_generated")
     degree = s_old.degree
     p_product = aux_basis.modulus if aux_basis is not None else 1
@@ -139,7 +169,7 @@ def generate_hint(
         e_i = error_poly(full, degree, rng, sigma).scalar_mul(error_scale)
         b_i = e_i - a_i * s_new + s_old.scalar_mul(factor)
         b_polys.append(b_i)
-    return KeySwitchHint(
+    hint = KeySwitchHint(
         b_polys=b_polys,
         seed=seed,
         alpha=alpha,
@@ -147,6 +177,14 @@ def generate_hint(
         aux_count=0 if aux_basis is None else len(aux_basis),
         label=label,
     )
+    if integrity:
+        with obs.span("reliability.checksum.seal", "reliability"):
+            hint.checksums = [
+                (limb_checksums(b.data, full.moduli),
+                 limb_checksums(hint.a_poly(i).data, full.moduli))
+                for i, b in enumerate(b_polys)
+            ]
+    return hint
 
 
 def _accumulate_digits(
@@ -205,7 +243,10 @@ def boosted_keyswitch(
     Returns (ks0, ks1) with ks0 + ks1*s_new ~= poly * s_old.
     """
     if hint.aux_count != len(aux_basis):
-        raise ValueError("hint was generated for a different special basis")
+        raise ParameterError(
+            "hint was generated for a different special basis",
+            hint_aux=hint.aux_count, aux=len(aux_basis),
+        )
     with obs.span("keyswitch.boosted", "fhe"):
         obs.count("fhe.keyswitch.boosted")
         q_level = poly.basis
@@ -227,7 +268,10 @@ def standard_keyswitch(
     primes) - the scaling wall that motivates the boosted algorithm.
     """
     if hint.aux_count != 0:
-        raise ValueError("hint was generated with a special basis; use boosted")
+        raise ParameterError(
+            "hint was generated with a special basis; use boosted",
+            hint_aux=hint.aux_count,
+        )
     with obs.span("keyswitch.standard", "fhe"):
         obs.count("fhe.keyswitch.standard")
         q_level = poly.basis

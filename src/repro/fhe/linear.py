@@ -25,6 +25,7 @@ import numpy as np
 from repro.fhe.ckks import Ciphertext, CkksContext
 from repro.fhe.keyswitch import KeySwitchHint
 from repro.fhe.polyeval import add_any
+from repro.reliability.errors import ParameterError
 
 
 def holomorphic_parts(fn, n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -63,7 +64,7 @@ class LinearTransform:
         n = ctx.params.slots
         matrix = np.asarray(matrix, dtype=np.complex128)
         if matrix.shape != (n, n):
-            raise ValueError(f"matrix must be {n}x{n} (full slot count)")
+            raise ParameterError(f"matrix must be {n}x{n} (full slot count)")
         self.ctx = ctx
         self.n = n
         idx = np.arange(n)
@@ -73,7 +74,7 @@ class LinearTransform:
             if np.max(np.abs(diag)) > tol:
                 self.diagonals[d] = diag
         if not self.diagonals:
-            raise ValueError("matrix is numerically zero")
+            raise ParameterError("matrix is numerically zero")
         if baby_steps is None:
             # Power of two near sqrt(D) balances baby/giant rotation counts.
             d_count = len(self.diagonals)
@@ -81,7 +82,8 @@ class LinearTransform:
                 1, 1 << int(round(np.log2(max(1.0, np.sqrt(d_count)))))
             )
         elif baby_steps < 1 or baby_steps & (baby_steps - 1):
-            raise ValueError("baby_steps must be a power of two")
+            raise ParameterError("baby_steps must be a power of two",
+                                 baby_steps=baby_steps)
         # Noise note: baby-step rotations happen *before* the diagonal
         # multiplication, so their keyswitch noise is attenuated by the
         # (typically small) matrix entries; giant-step rotations act on the
@@ -155,7 +157,7 @@ class RealLinearTransform:
             None if _is_zero(b, tol) else LinearTransform(ctx, b, tol, baby_steps)
         )
         if self.a_part is None and self.b_part is None:
-            raise ValueError("transform is numerically zero")
+            raise ParameterError("transform is numerically zero")
 
     def required_rotations(self) -> set[int]:
         steps = set()
@@ -182,7 +184,7 @@ class RealLinearTransform:
             total = self.a_part.apply(ct, rotation_hints, result_scale)
         if self.b_part is not None:
             if conj_hint is None:
-                raise ValueError("transform needs a conjugation hint")
+                raise ParameterError("transform needs a conjugation hint")
             conj_ct = ctx.conjugate(ct, conj_hint)
             total = add_any(
                 ctx, total, self.b_part.apply(conj_ct, rotation_hints, result_scale)

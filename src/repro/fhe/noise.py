@@ -22,6 +22,7 @@ from math import log2, sqrt
 import numpy as np
 
 from repro.fhe.ckks import Ciphertext, CkksContext, SecretKey
+from repro.reliability.errors import NoiseBudgetExhaustedError
 
 
 def measure_noise_bits(ctx: CkksContext, sk: SecretKey, ct: Ciphertext,
@@ -55,6 +56,12 @@ class NoiseBudget:
     sigma: float = 3.2
     noise_bits: float = 0.0
 
+    # Calibrated against measure_noise_bits ground truth (see the property
+    # test in tests/fhe/test_noise.py): worst-case margins, in bits, on top
+    # of the respective analytic floors.
+    PMULT_MARGIN_BITS = 4.0
+    REFRESH_MARGIN_BITS = 10.0
+
     def __post_init__(self):
         if self.noise_bits == 0.0:
             # Fresh encryption noise ~ sigma * sqrt(N)-ish.
@@ -68,12 +75,26 @@ class NoiseBudget:
     def headroom_bits(self) -> float:
         return max(0.0, self.log_q - self.noise_bits)
 
+    @property
+    def keyswitch_floor_bits(self) -> float:
+        """Noise floor of one keyswitch / rescale-rounding, in bits."""
+        return log2(8 * self.sigma * sqrt(self.degree))
+
+    def clone(self) -> "NoiseBudget":
+        return NoiseBudget(
+            degree=self.degree,
+            modulus_bits_per_level=self.modulus_bits_per_level,
+            levels=self.levels, sigma=self.sigma,
+            noise_bits=self.noise_bits,
+        )
+
     def multiply(self, scale_bits: float | None = None) -> "NoiseBudget":
         """ct x ct multiply + rescale: noise grows by ~scale_bits' worth of
         message energy, then one level is spent."""
         scale_bits = scale_bits or self.modulus_bits_per_level
         if self.levels <= 1:
-            raise ValueError("budget exhausted: bootstrap required")
+            raise NoiseBudgetExhaustedError(
+                "budget exhausted: bootstrap required", levels=self.levels)
         # Multiplication roughly doubles relative error and rescale trims
         # modulus; worst case noise after rescale ~ old + keyswitch floor.
         self.noise_bits = max(self.noise_bits + 1,
@@ -85,6 +106,54 @@ class NoiseBudget:
         """Rotation: additive keyswitch noise, no level spent."""
         ks = log2(sqrt(self.degree) * self.sigma * 8)
         self.noise_bits = max(self.noise_bits, ks) + 0.1
+        return self
+
+    # -- fine-grained ops, used by CkksContext budget threading ------------
+
+    def add(self) -> "NoiseBudget":
+        """ct + ct (or + pt): worst case, error magnitudes sum."""
+        self.noise_bits += 1
+        return self
+
+    def keyswitch(self) -> "NoiseBudget":
+        """Alias of :meth:`rotate` for rotation/conjugation threading."""
+        return self.rotate()
+
+    def cmult(self) -> "NoiseBudget":
+        """ct x ct multiply *without* the rescale: the integer-domain error
+        scales by the operand scale (~one level of bits) plus relin noise."""
+        self.noise_bits = max(
+            self.noise_bits + self.modulus_bits_per_level + 1,
+            self.keyswitch_floor_bits,
+        )
+        return self
+
+    def pmult(self) -> "NoiseBudget":
+        """Plaintext multiply + rescale at a targeted scale: the relative
+        error is roughly preserved; rounding adds the floor."""
+        self.noise_bits = (
+            max(self.noise_bits, self.keyswitch_floor_bits)
+            + self.PMULT_MARGIN_BITS
+        )
+        if self.levels > 1:
+            self.levels -= 1
+        return self
+
+    def rescale_op(self) -> "NoiseBudget":
+        """Standalone rescale: divides the error by ~2^modulus_bits, floored
+        at the rounding noise; one level is spent."""
+        self.noise_bits = max(
+            self.noise_bits - self.modulus_bits_per_level,
+            self.keyswitch_floor_bits,
+        )
+        if self.levels > 1:
+            self.levels -= 1
+        return self
+
+    def refresh(self, levels: int) -> "NoiseBudget":
+        """Bootstrap: levels restored, noise reset to the refresh floor."""
+        self.levels = levels
+        self.noise_bits = self.keyswitch_floor_bits + self.REFRESH_MARGIN_BITS
         return self
 
     def depth_capacity(self) -> int:

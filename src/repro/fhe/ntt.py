@@ -22,12 +22,15 @@ import numpy as np
 
 from repro.fhe.primes import root_of_unity
 from repro.obs import collector as obs
+from repro.reliability import faults as _faults
+from repro.reliability import guards as _guards
+from repro.reliability.errors import FaultDetectedError, ParameterError
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
     """Index permutation reversing log2(n)-bit indices."""
     if n & (n - 1):
-        raise ValueError("n must be a power of two")
+        raise ParameterError("n must be a power of two", n=n)
     bits = n.bit_length() - 1
     idx = np.arange(n, dtype=np.int64)
     rev = np.zeros(n, dtype=np.int64)
@@ -48,9 +51,13 @@ class NttContext:
 
     def __init__(self, modulus: int, degree: int):
         if degree & (degree - 1):
-            raise ValueError("degree must be a power of two")
+            raise ParameterError("degree must be a power of two",
+                                 degree=degree)
         if modulus >= 1 << 31:
-            raise ValueError("modulus must fit in 31 bits to avoid overflow")
+            raise ParameterError(
+                "modulus must fit in 31 bits to avoid overflow",
+                modulus_bits=modulus.bit_length(),
+            )
         self.modulus = modulus
         self.degree = degree
         psi = root_of_unity(modulus, 2 * degree)
@@ -87,8 +94,36 @@ class NttContext:
         if obs.is_enabled():
             with obs.span("ntt.forward", "fhe"):
                 obs.count("fhe.ntt.forward")
-                return self._forward(coeffs)
-        return self._forward(coeffs)
+                out = self._forward(coeffs)
+        else:
+            out = self._forward(coeffs)
+        return self._post_transform(coeffs, out, self._forward)
+
+    def _post_transform(self, data, out, kernel):
+        """Reliability tail of a transform: fault hook, then spot recheck.
+
+        An installed fault injector corrupts the *output* (a butterfly
+        compute fault - the input stays clean, so re-execution is a valid
+        oracle).  When the integrity switch asks for it, every k-th
+        transform is re-executed and compared; a mismatch is a detected
+        compute fault.  With neither installed this costs two None tests.
+        """
+        injector = _faults.active_injector()
+        if injector is not None:
+            injector.maybe_corrupt(_faults.NTT, out)
+        integ = _guards.integrity_active()
+        if integ is not None and integ.ntt_recheck_every:
+            integ.ntt_calls += 1
+            if integ.ntt_calls % integ.ntt_recheck_every == 0:
+                with obs.span("reliability.ntt.recheck", "reliability"):
+                    obs.count("reliability.ntt.recheck")
+                    if not np.array_equal(out, kernel(data)):
+                        raise FaultDetectedError(
+                            "NTT re-execution disagrees with first run; "
+                            "compute fault in a butterfly",
+                            modulus=self.modulus, degree=self.degree,
+                        )
+        return out
 
     def _forward(self, coeffs: np.ndarray) -> np.ndarray:
         q = np.uint64(self.modulus)
@@ -114,8 +149,10 @@ class NttContext:
         if obs.is_enabled():
             with obs.span("ntt.inverse", "fhe"):
                 obs.count("fhe.ntt.inverse")
-                return self._inverse(values)
-        return self._inverse(values)
+                out = self._inverse(values)
+        else:
+            out = self._inverse(values)
+        return self._post_transform(values, out, self._inverse)
 
     def _inverse(self, values: np.ndarray) -> np.ndarray:
         q = np.uint64(self.modulus)

@@ -13,6 +13,11 @@ import numpy as np
 
 from repro.fhe.ntt import NttContext
 from repro.fhe.rns import RnsBasis
+from repro.reliability.errors import (
+    LevelMismatchError,
+    NoiseBudgetExhaustedError,
+    ParameterError,
+)
 
 COEFF = "coeff"
 EVAL = "eval"
@@ -26,11 +31,11 @@ class RnsPoly:
     def __init__(self, basis: RnsBasis, data: np.ndarray, domain: str = COEFF):
         data = np.asarray(data, dtype=np.uint64)
         if data.ndim != 2 or data.shape[0] != len(basis):
-            raise ValueError(
+            raise ParameterError(
                 f"data shape {data.shape} does not match basis of size {len(basis)}"
             )
         if domain not in (COEFF, EVAL):
-            raise ValueError(f"unknown domain {domain!r}")
+            raise ParameterError(f"unknown domain {domain!r}")
         self.basis = basis
         self.data = data
         self.domain = domain
@@ -83,13 +88,17 @@ class RnsPoly:
 
     def _check_compatible(self, other: "RnsPoly") -> None:
         if self.basis != other.basis:
-            raise ValueError("operands live in different RNS bases")
+            raise LevelMismatchError(
+                "operands live in different RNS bases",
+                left_level=self.level, right_level=other.level,
+            )
         if self.domain != other.domain:
-            raise ValueError(
+            raise ParameterError(
                 f"domain mismatch: {self.domain} vs {other.domain}"
             )
         if self.degree != other.degree:
-            raise ValueError("degree mismatch")
+            raise ParameterError("degree mismatch",
+                                 left=self.degree, right=other.degree)
 
     # -- domain conversion ------------------------------------------------
 
@@ -132,7 +141,7 @@ class RnsPoly:
         if isinstance(other, RnsPoly):
             self._check_compatible(other)
             if self.domain != EVAL:
-                raise ValueError(
+                raise ParameterError(
                     "polynomial products require the EVAL domain; call to_eval()"
                 )
             q = self._moduli_column()
@@ -158,7 +167,7 @@ class RnsPoly:
         """
         n = self.degree
         if k % 2 == 0:
-            raise ValueError("automorphism exponent must be odd")
+            raise ParameterError("automorphism exponent must be odd", k=k)
         k %= 2 * n
         was_eval = self.domain == EVAL
         poly = self.to_coeff() if was_eval else self
@@ -184,7 +193,10 @@ class RnsPoly:
         EVAL domain pay one INTT + (L-1) NTTs, as the hardware does.
         """
         if self.level < 2:
-            raise ValueError("cannot rescale a level-1 polynomial")
+            raise NoiseBudgetExhaustedError(
+                "cannot rescale a level-1 polynomial; bootstrap to restore "
+                "budget"
+            )
         was_eval = self.domain == EVAL
         poly = self.to_coeff() if was_eval else self
         q_last = poly.basis.moduli[-1]

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.fhe.ckks import Ciphertext, CkksContext
 from repro.fhe.keyswitch import KeySwitchHint
+from repro.reliability.errors import ParameterError
 
 
 def align_levels(ctx: CkksContext, a: Ciphertext, b: Ciphertext):
@@ -92,7 +93,7 @@ def evaluate_polynomial(
     while degree > 0 and coeffs[degree] == 0:
         degree -= 1
     if degree == 0:
-        raise ValueError("constant polynomial: nothing to evaluate")
+        raise ParameterError("constant polynomial: nothing to evaluate")
     if degree == 1:
         out = ctx.pmult(ct, [coeffs[1]])
         return ctx.add_scalar(out, coeffs[0]) if coeffs[0] else out

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.reliability.errors import ParameterError
+
 # Deterministic Miller-Rabin witness set, valid for all n < 3.3 * 10^24,
 # which covers every modulus this library can represent (< 2^64).
 _MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
@@ -59,14 +61,15 @@ def find_ntt_primes(count: int, bits: int, ring_degree: int) -> list[int]:
     2*Lmax = 120 moduli at N = 64K.
     """
     if count <= 0:
-        raise ValueError("count must be positive")
+        raise ParameterError("count must be positive", count=count)
     if ring_degree & (ring_degree - 1):
-        raise ValueError("ring_degree must be a power of two")
+        raise ParameterError("ring_degree must be a power of two",
+                             ring_degree=ring_degree)
     if bits < 8 or bits > 62:
-        raise ValueError("bits must be in [8, 62]")
+        raise ParameterError("bits must be in [8, 62]", bits=bits)
     step = 2 * ring_degree
     if (1 << bits) <= step:
-        raise ValueError("2**bits must exceed 2N to admit q = 1 mod 2N")
+        raise ParameterError("2**bits must exceed 2N to admit q = 1 mod 2N")
     primes: list[int] = []
     # Largest value < 2**bits congruent to 1 mod 2N.
     candidate = ((1 << bits) - 2) // step * step + 1
@@ -76,7 +79,7 @@ def find_ntt_primes(count: int, bits: int, ring_degree: int) -> list[int]:
             primes.append(candidate)
         candidate -= step
     if len(primes) < count:
-        raise ValueError(
+        raise ParameterError(
             f"only {len(primes)} NTT-friendly {bits}-bit primes exist for "
             f"N={ring_degree}; {count} requested"
         )
@@ -118,7 +121,7 @@ def root_of_unity(q: int, order: int) -> int:
     existence is exactly the NTT-friendliness condition.
     """
     if (q - 1) % order != 0:
-        raise ValueError(f"{order} does not divide q - 1 = {q - 1}")
+        raise ParameterError(f"{order} does not divide q - 1 = {q - 1}")
     g = primitive_root(q)
     root = pow(g, (q - 1) // order, q)
     # Sanity: root must have exact multiplicative order ``order``.

@@ -24,6 +24,8 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.reliability.errors import NoiseBudgetExhaustedError, ParameterError
+
 
 class RnsBasis:
     """An ordered tuple of coprime NTT-friendly moduli."""
@@ -31,9 +33,9 @@ class RnsBasis:
     def __init__(self, moduli):
         moduli = tuple(int(q) for q in moduli)
         if not moduli:
-            raise ValueError("an RNS basis needs at least one modulus")
+            raise ParameterError("an RNS basis needs at least one modulus")
         if len(set(moduli)) != len(moduli):
-            raise ValueError("moduli must be distinct")
+            raise ParameterError("moduli must be distinct")
         self.moduli = moduli
 
     def __len__(self) -> int:
@@ -84,12 +86,13 @@ class RnsBasis:
     def extend(self, other: "RnsBasis") -> "RnsBasis":
         overlap = set(self.moduli) & set(other.moduli)
         if overlap:
-            raise ValueError(f"bases share moduli {sorted(overlap)}")
+            raise ParameterError(f"bases share moduli {sorted(overlap)}")
         return RnsBasis(self.moduli + other.moduli)
 
     def drop_last(self, count: int = 1) -> "RnsBasis":
         if count >= len(self):
-            raise ValueError("cannot drop every modulus")
+            raise NoiseBudgetExhaustedError(
+                "cannot drop every modulus", level=len(self), dropping=count)
         return RnsBasis(self.moduli[: len(self) - count])
 
     # ------------------------------------------------------------------
@@ -154,7 +157,10 @@ class RnsBasis:
         of 0 <= a < L - an order-of-magnitude keyswitch-noise reduction.
         """
         if residues.shape[0] != len(self):
-            raise ValueError("residue count does not match basis size")
+            raise ParameterError(
+                "residue count does not match basis size",
+                rows=residues.shape[0], basis=len(self),
+            )
         scaled = np.empty_like(residues)
         fraction = np.zeros(residues.shape[1], dtype=np.float64)
         for i, qi in enumerate(self.moduli):

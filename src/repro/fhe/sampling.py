@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.fhe.poly import EVAL, RnsPoly
 from repro.fhe.rns import RnsBasis
+from repro.reliability.errors import ParameterError
 
 ERROR_SIGMA = 3.2  # standard deviation of the LWE error, per the HE standard
 
@@ -33,7 +34,8 @@ def ternary_secret(
     if hamming_weight is None:
         return rng.integers(-1, 2, size=degree, dtype=np.int64)
     if not 0 < hamming_weight <= degree:
-        raise ValueError("hamming weight out of range")
+        raise ParameterError("hamming weight out of range",
+                             hamming_weight=hamming_weight, degree=degree)
     coeffs = np.zeros(degree, dtype=np.int64)
     support = rng.choice(degree, size=hamming_weight, replace=False)
     coeffs[support] = rng.choice(np.array([-1, 1]), size=hamming_weight)

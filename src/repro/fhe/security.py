@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from bisect import bisect_left
 
+from repro.reliability.errors import ParameterError
+
 # max log2(QP) per ring degree at each security level, ternary secret.
 # 128/192/256 rows follow the HE Standard; 80-bit and N=131072 rows use the
 # lambda ~ c * N / logQP fit through the published points.
@@ -51,7 +53,7 @@ def max_log_q_for_security(degree: int, security: int) -> float:
     200-bit target sits between the 192- and 256-bit standard rows).
     """
     if degree not in _MAX_LOGQ[128]:
-        raise ValueError(f"no table row for N={degree}")
+        raise ParameterError(f"no table row for N={degree}")
     if security <= _LEVELS[0]:
         return float(_MAX_LOGQ[_LEVELS[0]][degree])
     if security >= _LEVELS[-1]:
@@ -68,7 +70,7 @@ def max_log_q_for_security(degree: int, security: int) -> float:
 def security_bits(degree: int, log_qp: float) -> float:
     """Estimated security of an (N, logQP) pair, by inverse interpolation."""
     if log_qp <= 0:
-        raise ValueError("logQP must be positive")
+        raise ParameterError("logQP must be positive")
     # Security is monotonically decreasing in logQP at fixed N.
     lo_sec, hi_sec = _LEVELS[0], _LEVELS[-1]
     if log_qp >= max_log_q_for_security(degree, lo_sec):
@@ -135,7 +137,7 @@ class SecurityEstimator:
         for level in range(1, max_level + 1):
             digits = self.digits_for_level(level)
             if digits is None:
-                raise ValueError(
+                raise ParameterError(
                     f"level {level} insecure at {self.security} bits for "
                     f"N={self.degree} even with {self.max_digits}-digit "
                     "keyswitching"

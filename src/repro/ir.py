@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.reliability.errors import ParameterError, ScheduleError
+
 # Operation kinds.  MULT/ROTATE need keyswitching; PMULT/ADD/RESCALE are
 # plain polynomial ops; INPUT marks an off-chip ciphertext operand's first
 # use (client data or layer weights).
@@ -62,17 +64,17 @@ class HomOp:
 
     def __post_init__(self):
         if self.kind not in KINDS:
-            raise ValueError(f"unknown op kind {self.kind!r}")
+            raise ScheduleError(f"unknown op kind {self.kind!r}")
         if self.level < 1:
-            raise ValueError("level must be >= 1")
+            raise ScheduleError("level must be >= 1", level=self.level)
         if self.kind in KEYSWITCH_KINDS and self.hint_id is None:
-            raise ValueError(f"{self.kind} requires a hint_id")
+            raise ScheduleError(f"{self.kind} requires a hint_id")
         if self.digits < 1:
-            raise ValueError("digits must be >= 1")
+            raise ScheduleError("digits must be >= 1", digits=self.digits)
         if self.repeat < 1:
-            raise ValueError("repeat must be >= 1")
+            raise ScheduleError("repeat must be >= 1", repeat=self.repeat)
         if self.repeat > 1 and self.kind in (INPUT, OUTPUT, RESCALE):
-            raise ValueError(f"{self.kind} ops cannot batch with repeat")
+            raise ScheduleError(f"{self.kind} ops cannot batch with repeat")
 
 
 @dataclass
@@ -87,14 +89,15 @@ class Program:
 
     def __post_init__(self):
         if self.degree & (self.degree - 1):
-            raise ValueError("degree must be a power of two")
+            raise ParameterError("degree must be a power of two",
+                                 degree=self.degree)
 
     def __len__(self) -> int:
         return len(self.ops)
 
     def append(self, op: HomOp) -> HomOp:
         if op.level > self.max_level:
-            raise ValueError(
+            raise ScheduleError(
                 f"op at level {op.level} exceeds program max {self.max_level}"
             )
         self.ops.append(op)

@@ -55,6 +55,11 @@ class OpEvent:
     stall_cycles: float = 0.0    # compute wait exposed by the memory stream
     mem_words: float = 0.0       # words moved (fetches + forced writebacks)
     evictions: int = 0           # Belady victims displaced by this op
+    # Per-FU-class busy cycles (elements / class capacity) for this op,
+    # e.g. {"ntt": 512.0, "mul": 96.0}.  The Chrome-trace exporter splits
+    # the compute track into one lane per class from this map; empty for
+    # INPUT/OUTPUT ops, which occupy no FU.
+    fu_cycles: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass

@@ -10,11 +10,12 @@ Three views of one :class:`repro.obs.Collector`:
 * :func:`chrome_trace` - the Chrome ``trace_event`` JSON format
   (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
   loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Simulated
-  ops are laid out as two timeline lanes of one process - *FU lanes*
-  (compute) and *HBM* (the decoupled memory stream) - so overlap,
-  memory-bound stretches, and per-phase structure are visible at a
-  glance.  Wall-clock spans go to a second process on their own time
-  base.
+  ops are laid out as timeline lanes of one process - one *compute* lane
+  per FU class (NTT / mul / add / aut / CRB / KSHGen, from
+  ``OpEvent.fu_cycles``) plus *HBM* (the decoupled memory stream) - so
+  overlap, memory-bound stretches, per-FU occupancy and per-phase
+  structure are visible at a glance.  Wall-clock spans go to a second
+  process on their own time base.
 
 Chrome traces timestamp in microseconds.  Pass ``clock_hz`` (e.g.
 ``ChipConfig.clock_hz``) to convert simulated cycles to simulated
@@ -30,10 +31,22 @@ from repro.obs.collector import Collector
 
 # pid/tid layout of the exported trace.
 SIM_PID = 0          # simulated machine (timestamps in simulated time)
-FU_TID = 0           # compute lane
+FU_TID = 0           # aggregate compute lane (ops with no per-class data)
 HBM_TID = 1          # memory-stream lane
 HOST_PID = 1         # wall-clock spans (timestamps in host time)
 HOST_TID = 0
+
+# Per-FU-class compute lanes, populated from ``OpEvent.fu_cycles``.  Lane
+# order mirrors Fig. 5's FU mix; tids 0/1 stay reserved for the aggregate
+# compute and HBM lanes above.
+FU_CLASS_TIDS = {
+    "ntt": 2,
+    "mul": 3,
+    "add": 4,
+    "aut": 5,
+    "crb": 6,
+    "kshgen": 7,
+}
 
 
 def top_report(collector: Collector, n: int = 10) -> str:
@@ -128,6 +141,7 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
     meta(SIM_PID, None, "simulated machine", "process_name")
     meta(SIM_PID, FU_TID, "FU lanes (compute)", "thread_name")
     meta(SIM_PID, HBM_TID, "HBM (memory stream)", "thread_name")
+    named_classes: set[str] = set()
 
     for e in collector.op_events:
         label = f"{e.kind} {e.result}"
@@ -138,13 +152,35 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
             "mem_words": e.mem_words, "evictions": e.evictions,
         }
         if e.compute_cycles > 0:
-            events.append({
-                "name": label, "cat": e.kind or "op", "ph": "X",
-                "pid": SIM_PID, "tid": FU_TID,
-                "ts": e.compute_start * to_us,
-                "dur": e.compute_cycles * to_us,
-                "args": args,
-            })
+            per_class = {
+                cls: cyc for cls, cyc in (e.fu_cycles or {}).items()
+                if cyc > 0 and cls in FU_CLASS_TIDS
+            }
+            if per_class:
+                # One slice per FU class the op occupies, each on its own
+                # lane; the classes run concurrently within the op, so all
+                # slices start at compute_start (the op's overall span is
+                # the max, which already drives the clock model).
+                for cls, cyc in per_class.items():
+                    if cls not in named_classes:
+                        named_classes.add(cls)
+                        meta(SIM_PID, FU_CLASS_TIDS[cls],
+                             f"FU {cls}", "thread_name")
+                    events.append({
+                        "name": label, "cat": e.kind or "op", "ph": "X",
+                        "pid": SIM_PID, "tid": FU_CLASS_TIDS[cls],
+                        "ts": e.compute_start * to_us,
+                        "dur": cyc * to_us,
+                        "args": {**args, "fu_class": cls},
+                    })
+            else:
+                events.append({
+                    "name": label, "cat": e.kind or "op", "ph": "X",
+                    "pid": SIM_PID, "tid": FU_TID,
+                    "ts": e.compute_start * to_us,
+                    "dur": e.compute_cycles * to_us,
+                    "args": args,
+                })
         if e.mem_cycles > 0:
             events.append({
                 "name": f"mem {label}", "cat": "hbm", "ph": "X",

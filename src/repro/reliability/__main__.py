@@ -1,0 +1,10 @@
+"""Entry point: ``python -m repro.reliability`` runs the fault campaign.
+
+Preferred over ``python -m repro.reliability.faults`` (which also works)
+because executing the submodule directly makes runpy load a second
+instance of it alongside the one the fhe hot paths import.
+"""
+
+from repro.reliability.faults import main
+
+raise SystemExit(main())

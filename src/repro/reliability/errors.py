@@ -1,0 +1,72 @@
+"""Typed exception hierarchy for the whole reproduction.
+
+Every failure the substrate can diagnose raises a subclass of
+:class:`ReproError`, so callers can catch one family (``except
+ReproError``), one failure class (``except ScaleMismatchError``), or -
+because every validation error also subclasses :class:`ValueError` -
+keep pre-existing ``except ValueError`` handlers working unchanged.
+
+The taxonomy mirrors where things go wrong in an FHE pipeline:
+
+* :class:`ParameterError` - a static parameter is impossible (degree not
+  a power of two, empty RNS basis, digit count out of range).
+* :class:`LevelMismatchError` - operands live at different levels / in
+  different RNS bases, or an op needs a level the ciphertext lacks.
+* :class:`ScaleMismatchError` - CKKS scale bookkeeping violated
+  (adding values at diverged scales decrypts to garbage).
+* :class:`NoiseBudgetExhaustedError` - the multiplicative budget is
+  spent; decryption would fail and only bootstrapping can recover.
+* :class:`ScheduleError` - a compiled :class:`~repro.ir.Program` is
+  internally inconsistent (undefined operand, digits exceeding level).
+* :class:`ConfigError` - a :class:`~repro.core.config.ChipConfig` (or a
+  config/program pairing) cannot be simulated.
+* :class:`FaultDetectedError` - an integrity check (per-limb checksum,
+  NTT re-execution) caught corrupted data.  Subclasses
+  :class:`RuntimeError`, not :class:`ValueError`: the inputs were valid,
+  the data was damaged in flight.
+
+Errors carry an optional ``context`` dict of machine-readable details
+(op name, levels, scales) appended to the message, so failures deep in a
+workload still say which invariant broke and how to fix it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every diagnosed failure in this repository."""
+
+    def __init__(self, message: str, **context):
+        self.context = context
+        if context:
+            details = ", ".join(f"{k}={v}" for k, v in context.items())
+            message = f"{message} [{details}]"
+        super().__init__(message)
+
+
+class ParameterError(ReproError, ValueError):
+    """A static parameter is invalid (caught before any computation)."""
+
+
+class LevelMismatchError(ReproError, ValueError):
+    """Operands disagree on level / RNS basis, or a level is unavailable."""
+
+
+class ScaleMismatchError(ReproError, ValueError):
+    """CKKS scales diverged beyond tolerance; the sum would be garbage."""
+
+
+class NoiseBudgetExhaustedError(ReproError, ValueError):
+    """No multiplicative budget left: bootstrap (or re-encrypt) required."""
+
+
+class ScheduleError(ReproError, ValueError):
+    """A compiled Program is not executable as scheduled."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A chip configuration is invalid or cannot run the given program."""
+
+
+class FaultDetectedError(ReproError, RuntimeError):
+    """An integrity check detected corrupted data (not a usage error)."""

@@ -1,0 +1,90 @@
+"""Pre-flight validation: reject unschedulable configs and broken programs.
+
+`ChipConfig.__post_init__` catches per-field nonsense at construction;
+this pass catches what only the config/program *pairing* reveals - a
+register file too small to hold one ciphertext, a ring degree above the
+chip's native maximum, keyswitch digit counts exceeding an op's level,
+operands consumed before anything defines them.  The simulator runs it
+before executing a single op, so a bad setup fails in microseconds with
+an actionable message instead of deep inside `repro.core.cost` with a
+division by zero or a silently wrong cycle count.
+
+All checks are O(ops) and allocation-free; `simulate` calls
+:func:`validate_program` unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.errors import ConfigError, ScheduleError
+
+
+def validate_config(cfg) -> None:
+    """Config-only checks beyond dataclass field validation.
+
+    ``ChipConfig.__post_init__`` already enforces field sanity; this
+    hook exists for checks that need derived quantities and for callers
+    validating configs built outside the dataclass (tests, sweeps).
+    """
+    if cfg.hbm_words_per_cycle <= 0:
+        raise ConfigError(
+            "config has no HBM bandwidth; nothing can stream",
+            config=cfg.name, hbm_phys=cfg.hbm_phys,
+            gbps_per_phy=cfg.hbm_gbps_per_phy,
+        )
+    if cfg.register_file_words < 1:
+        raise ConfigError(
+            "register file rounds to zero words",
+            config=cfg.name, register_file_mb=cfg.register_file_mb,
+        )
+
+
+def validate_program(program, cfg) -> None:
+    """Reject a (program, config) pairing the simulator cannot honor."""
+    from repro.core.cost import ciphertext_words
+    from repro.ir import INPUT, KEYSWITCH_KINDS, OUTPUT
+
+    validate_config(cfg)
+
+    if program.degree > cfg.max_degree:
+        raise ConfigError(
+            f"{program.name} uses N={program.degree}, above {cfg.name}'s "
+            f"native maximum {cfg.max_degree}",
+            program=program.name, config=cfg.name,
+        )
+
+    ct_words = ciphertext_words(program.degree, 1)
+    if cfg.register_file_words < ct_words:
+        raise ConfigError(
+            f"register file ({cfg.register_file_words} words) cannot hold "
+            f"even a level-1 ciphertext ({ct_words} words) at "
+            f"N={program.degree}; the schedule would thrash every operand",
+            program=program.name, config=cfg.name,
+        )
+
+    defined: set[str] = set()
+    for i, op in enumerate(program.ops):
+        if op.level > program.max_level:
+            raise ScheduleError(
+                f"op {i} ({op.kind}) runs at level {op.level}, above the "
+                f"program's declared max {program.max_level}",
+                program=program.name, op=i,
+            )
+        if op.kind in KEYSWITCH_KINDS and op.digits > op.level:
+            raise ScheduleError(
+                f"op {i} ({op.kind}) asks for {op.digits}-digit "
+                f"keyswitching at level {op.level}; digits cannot exceed "
+                "the live level",
+                program=program.name, op=i, digits=op.digits,
+                level=op.level,
+            )
+        if op.kind not in (INPUT,):
+            for operand in op.operands:
+                if operand not in defined:
+                    raise ScheduleError(
+                        f"op {i} ({op.kind}) consumes {operand!r} before "
+                        "any op defines it; the stream is not in dataflow "
+                        "order",
+                        program=program.name, op=i, operand=operand,
+                    )
+        if op.kind != OUTPUT:
+            defined.add(op.result)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.compiler.digits import digit_schedule, max_usable_level
 from repro.compiler.dsl import FheBuilder, Value
 from repro.ir import Program
+from repro.reliability.errors import ParameterError, ScheduleError
 
 
 @dataclass(frozen=True)
@@ -62,7 +63,7 @@ class BootstrapPlan:
     def usable_levels(self) -> int:
         usable = self.top_level - self.levels_consumed
         if usable < 1:
-            raise ValueError("bootstrap plan consumes the whole chain")
+            raise ScheduleError("bootstrap plan consumes the whole chain")
         return usable
 
     def keyswitch_count(self) -> int:
@@ -80,7 +81,7 @@ def plan_for(security: int, degree: int = 65536) -> BootstrapPlan:
     (half the usable levels, capped at L=51); 200-bit needs N=128K.
     """
     if security > 128 and degree < 131072:
-        raise ValueError("beyond-128-bit security requires N=128K (Sec. 9.4)")
+        raise ParameterError("beyond-128-bit security requires N=128K (Sec. 9.4)")
     # Larger rings transform twice the slots: the tiled CoeffToSlot /
     # SlotToCoeff stages process proportionally more partitions.
     tiles = 5 * max(1, degree // 65536)

@@ -21,6 +21,7 @@ from repro.compiler.digits import digit_schedule
 from repro.compiler.dsl import FheBuilder, Value
 from repro.ir import Program
 from repro.workloads.bootstrap import BootstrapPlan, emit_bootstrap, plan_for
+from repro.reliability.errors import ScheduleError
 
 
 def _plan_for_max_level(security: int, degree: int,
@@ -54,7 +55,7 @@ def _plan_for_max_level(security: int, degree: int,
         _, field = max(candidates)
         plan = replace(plan, **{field: getattr(plan, field) - 1})
     if plan.levels_consumed >= top_level:
-        raise ValueError(
+        raise ScheduleError(
             f"L_max={top_level} cannot host packed bootstrapping"
         )
     return plan

@@ -2,8 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.fhe.ckks import CkksContext, CkksParams
 from repro.fhe.noise import NoiseBudget, budget_bits, measure_noise_bits
+from repro.reliability.errors import NoiseBudgetExhaustedError
+from repro.reliability.guards import ReliabilityPolicy
 
 
 def test_measure_noise_on_fresh_ciphertext(fhe):
@@ -47,3 +52,77 @@ def test_rotation_does_not_spend_levels():
     levels_before = nb.levels
     nb.rotate()
     assert nb.levels == levels_before
+
+
+# -- property: the static estimator upper-bounds measured noise -------------
+#
+# NoiseBudget is a *worst-case* planner: if it ever reports less noise than
+# a real ciphertext carries, a program it declares safe could silently fail
+# to decrypt.  Drive a tracked context through random op sequences and check
+# the estimate stays above measure_noise_bits ground truth after every op.
+
+_TRACKED = None
+
+
+def _tracked_fixture():
+    """Module-cached tracked context (keygen + hints are the expensive part)."""
+    global _TRACKED
+    if _TRACKED is None:
+        params = CkksParams(degree=256, max_level=6, digits=1, seed=3)
+        ctx = CkksContext(params, policy=ReliabilityPolicy(track_noise=True))
+        sk = ctx.keygen()
+        _TRACKED = (ctx, sk, ctx.relin_hint(sk), ctx.rotation_hint(sk, 1))
+    return _TRACKED
+
+
+def _unit_values(rng, slots):
+    return np.exp(1j * rng.uniform(0.0, 2.0 * np.pi, size=slots))
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    ops=st.lists(
+        st.sampled_from(["add", "rotate", "pmult", "square"]),
+        min_size=1, max_size=8,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_budget_upper_bounds_measured_noise(ops, seed):
+    ctx, sk, relin, rot1 = _tracked_fixture()
+    slots = ctx.params.slots
+    rng = np.random.default_rng(seed)
+
+    ref = 0.5 * _unit_values(rng, slots)
+    ct = ctx.encrypt_values(sk, ref)
+    assert ct.budget is not None
+    assert ct.budget.noise_bits >= measure_noise_bits(ctx, sk, ct, ref)
+
+    for op in ops:
+        if ct.level < 2 and op in ("pmult", "square"):
+            continue  # depth-consuming ops need a live level below the top
+        try:
+            if op == "add":
+                ct, ref = ctx.add(ct, ct), ref + ref
+            elif op == "rotate":
+                ct, ref = ctx.rotate(ct, 1, rot1), np.roll(ref, -1)
+            elif op == "pmult":
+                v = _unit_values(rng, slots)
+                ct, ref = ctx.pmult(ct, v), ref * v
+            elif op == "square":
+                ct, ref = ctx.multiply(ct, ct, relin), ref * ref
+                if ct.level >= 2:
+                    ct = ctx.rescale(ct)
+        except NoiseBudgetExhaustedError:
+            break  # the estimator called exhaustion first; that is its job
+        if np.abs(ref).max() > 8:
+            break  # repeated ct+ct: message growth would swamp the check
+
+        measured = measure_noise_bits(ctx, sk, ct, ref)
+        assert ct.budget is not None
+        # The invariant under test: worst-case estimate >= ground truth.
+        assert ct.budget.noise_bits >= measured, (
+            f"estimator underestimates after {op}: "
+            f"{ct.budget.noise_bits:.2f} < {measured:.2f}"
+        )
+        # Structural bookkeeping stays in sync with the ciphertext.
+        assert ct.budget.levels == ct.level

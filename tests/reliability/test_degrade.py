@@ -1,0 +1,73 @@
+"""Graceful degradation: strict mode raises, degrade mode repairs.
+
+These tests build their own contexts (the shared fixtures are strict and
+session-scoped; degradation mutates policy-dependent behavior).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe.bootstrap import BootstrapConfig, Bootstrapper
+from repro.fhe.ckks import CkksContext, CkksParams
+from repro.obs import collector as obs
+from repro.reliability.errors import NoiseBudgetExhaustedError
+from repro.reliability.guards import ReliabilityPolicy
+
+
+def test_strict_mode_raises_on_exhausted_chain():
+    ctx = CkksContext(CkksParams(degree=64, max_level=3, seed=1))
+    sk = ctx.keygen()
+    ct = ctx.encrypt_values(sk, [0.1], level=1)
+    with pytest.raises(NoiseBudgetExhaustedError, match="bootstrap"):
+        ctx.pmult(ct, [2.0])
+
+
+def test_degrade_without_bootstrapper_still_raises():
+    ctx = CkksContext(CkksParams(degree=64, max_level=3, seed=1),
+                      policy=ReliabilityPolicy(mode="degrade"))
+    sk = ctx.keygen()
+    ct = ctx.encrypt_values(sk, [0.1], level=1)
+    with pytest.raises(NoiseBudgetExhaustedError, match="bootstrapper"):
+        ctx.pmult(ct, [2.0])
+
+
+def test_degrade_auto_rescale_normalizes_deferred_scales():
+    # Two un-rescaled products carry scale ~q^2; multiplying them again
+    # would overflow the live modulus.  Degrade mode inserts the deferred
+    # rescale automatically and counts it.
+    params = CkksParams(degree=64, max_level=6, seed=4)
+    ctx = CkksContext(params, policy=ReliabilityPolicy(mode="degrade"))
+    sk = ctx.keygen()
+    relin = ctx.relin_hint(sk)
+    z = np.full(params.slots, 0.5)
+    ct = ctx.encrypt_values(sk, z)
+
+    squared = ctx.multiply(ct, ct, relin)  # scale ~q^2, no rescale
+    with obs.collecting() as c:
+        fourth = ctx.multiply(squared, squared, relin)
+    assert c.counters.get("reliability.auto_rescale", 0) > 0
+    got = ctx.decrypt(sk, fourth)
+    assert np.allclose(got.real, 0.5**4, atol=1e-2)
+
+
+def test_degrade_auto_bootstrap_restores_levels():
+    # The acceptance scenario in miniature: an op needs a level the
+    # ciphertext no longer has; degrade mode bootstraps instead of dying,
+    # and both the counter and the span make the repair observable.
+    params = CkksParams(degree=256, max_level=15, digits=1,
+                        secret_hamming=8, seed=5)
+    ctx = CkksContext(params, policy=ReliabilityPolicy(mode="degrade"))
+    sk = ctx.keygen()
+    ctx.set_bootstrapper(
+        Bootstrapper(ctx, sk, BootstrapConfig(taylor_degree=15)))
+
+    ref = np.full(params.slots, 0.02)
+    ct = ctx.encrypt_values(sk, ref, level=1)  # chain already depleted
+    with obs.collecting() as c:
+        out = ctx.pmult(ct, np.full(params.slots, 2.0))
+
+    assert c.counters.get("reliability.auto_bootstrap") == 1
+    assert any(s.name == "reliability.auto_bootstrap" for s in c.spans)
+    assert out.level > 1
+    got = ctx.decrypt(sk, out)
+    assert np.allclose(got.real, 0.04, atol=1e-2)

@@ -1,0 +1,58 @@
+"""The typed exception hierarchy: taxonomy, compat, context payloads."""
+
+import pytest
+
+from repro.reliability.errors import (
+    ConfigError,
+    FaultDetectedError,
+    LevelMismatchError,
+    NoiseBudgetExhaustedError,
+    ParameterError,
+    ReproError,
+    ScaleMismatchError,
+    ScheduleError,
+)
+
+VALIDATION_ERRORS = [
+    ParameterError,
+    LevelMismatchError,
+    ScaleMismatchError,
+    NoiseBudgetExhaustedError,
+    ScheduleError,
+    ConfigError,
+]
+
+
+@pytest.mark.parametrize("exc", VALIDATION_ERRORS)
+def test_validation_errors_are_repro_and_value_errors(exc):
+    # Pre-existing `except ValueError` handlers (and ~70 tests) must keep
+    # catching these; new code can catch the whole family via ReproError.
+    err = exc("boom")
+    assert isinstance(err, ReproError)
+    assert isinstance(err, ValueError)
+
+
+def test_fault_detected_is_runtime_not_value_error():
+    # Corrupted data is not a usage error: it must NOT be swallowed by
+    # `except ValueError` paths that handle bad parameters.
+    err = FaultDetectedError("corrupted")
+    assert isinstance(err, ReproError)
+    assert isinstance(err, RuntimeError)
+    assert not isinstance(err, ValueError)
+
+
+def test_context_kwargs_are_stored_and_rendered():
+    err = LevelMismatchError("levels disagree", left=3, right=1)
+    assert err.context == {"left": 3, "right": 1}
+    assert "levels disagree" in str(err)
+    assert "left=3" in str(err) and "right=1" in str(err)
+
+
+def test_message_without_context_is_untouched():
+    assert str(ParameterError("plain message")) == "plain message"
+
+
+def test_catching_the_family_covers_every_subclass():
+    for exc in VALIDATION_ERRORS + [FaultDetectedError]:
+        with pytest.raises(ReproError):
+            raise exc("x")

@@ -1,0 +1,99 @@
+"""Deterministic fault injection: the injector and the campaign harness."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.faults import (
+    HBM,
+    LIMB,
+    NTT,
+    RF,
+    SITES,
+    FaultInjector,
+    run_campaign,
+)
+
+
+def test_injector_is_deterministic():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 28, size=(2, 32), dtype=np.uint64)
+
+    outs = []
+    for _ in range(2):
+        work = data.copy()
+        injector = FaultInjector(seed=42)
+        injector.arm(LIMB)
+        assert injector.maybe_corrupt(LIMB, work)
+        outs.append(work)
+    assert np.array_equal(outs[0], outs[1])
+    assert not np.array_equal(outs[0], data)
+
+
+def test_armed_fault_fires_exactly_once():
+    data = np.zeros((1, 16), dtype=np.uint64)
+    injector = FaultInjector(seed=1)
+    injector.arm(NTT)
+    assert injector.maybe_corrupt(NTT, data)
+    assert not injector.maybe_corrupt(NTT, data)  # disarmed after firing
+
+
+def test_unarmed_sites_stay_clean():
+    data = np.zeros((1, 16), dtype=np.uint64)
+    injector = FaultInjector(seed=1)
+    injector.arm(LIMB)
+    assert not injector.maybe_corrupt(HBM, data)
+    assert np.count_nonzero(data) == 0
+
+
+def test_corruption_flips_bits_below_modulus_width():
+    data = np.zeros((1, 16), dtype=np.uint64)
+    injector = FaultInjector(seed=3)
+    injector.arm(LIMB)
+    injector.maybe_corrupt(LIMB, data)
+    changed = data[data != 0]
+    assert len(changed) == 1
+    assert int(changed[0]) < 1 << 28  # single flip below bit 28
+
+
+# -- campaign smoke test ----------------------------------------------------
+#
+# The full acceptance campaign (1000+ faults) runs in CI via
+# `python -m repro.reliability`; here a small seeded campaign checks the
+# harness end to end without dominating the suite's runtime.
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(seed=2022, faults=80, degree=128, max_level=5,
+                        pool_size=4, clean_ops=16)
+
+
+def test_campaign_covers_all_sites(campaign):
+    assert set(campaign.sites) == set(SITES)
+    for site in SITES:
+        assert campaign.sites[site].injected > 0, site
+
+
+def test_campaign_zero_false_positives(campaign):
+    assert campaign.false_positives == 0
+
+
+def test_campaign_deterministic_detection_rates(campaign):
+    # Operand-at-rest and hint-transfer checksums are exact: every
+    # injected corruption below the modulus width must be caught.
+    assert campaign.detection_rate(LIMB) == 1.0
+    assert campaign.detection_rate(HBM) == 1.0
+
+
+def test_campaign_sampled_detection_rates(campaign):
+    # Spot checks catch a seeded-but-predictable fraction: nonzero, below
+    # certainty (recheck every 4th NTT; spot-check half the RF pool).
+    assert 0.0 < campaign.detection_rate(NTT) < 1.0
+    assert 0.0 < campaign.detection_rate(RF) < 1.0
+
+
+def test_campaign_reproducible(campaign):
+    again = run_campaign(seed=2022, faults=80, degree=128, max_level=5,
+                         pool_size=4, clean_ops=16)
+    for site in SITES:
+        assert again.sites[site].injected == campaign.sites[site].injected
+        assert again.sites[site].detected == campaign.sites[site].detected

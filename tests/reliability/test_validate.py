@@ -1,0 +1,97 @@
+"""Pre-flight config/program validation and its wiring into simulate()."""
+
+import pytest
+
+from repro.core import ChipConfig, simulate
+from repro.ir import ADD, INPUT, MULT, OUTPUT, HomOp, Program
+from repro.reliability.errors import ConfigError, ScheduleError
+from repro.reliability.validate import validate_config, validate_program
+
+
+def _program(degree=4096, max_level=8):
+    p = Program(name="toy", degree=degree, max_level=max_level)
+    p.append(HomOp(kind=INPUT, result="a", level=4))
+    p.append(HomOp(kind=INPUT, result="b", level=4))
+    p.append(HomOp(kind=ADD, result="c", level=4, operands=("a", "b")))
+    p.append(HomOp(kind=OUTPUT, result="out", level=4, operands=("c",)))
+    return p
+
+
+# -- field validation at construction ---------------------------------------
+
+def test_config_rejects_indivisible_lane_groups():
+    with pytest.raises(ConfigError, match="lane groups"):
+        ChipConfig(lanes=2048, lane_groups=3)
+
+
+def test_config_rejects_zero_hbm():
+    with pytest.raises(ConfigError, match="HBM"):
+        ChipConfig(hbm_gbps_per_phy=0.0)
+    with pytest.raises(ConfigError, match="HBM"):
+        ChipConfig(hbm_phys=0)
+
+
+def test_config_rejects_nonpositive_register_file():
+    with pytest.raises(ConfigError, match="register file"):
+        ChipConfig(register_file_mb=0.0)
+
+
+def test_config_rejects_zero_fu_units():
+    with pytest.raises(ConfigError, match="ntt_units"):
+        ChipConfig(ntt_units=0)
+
+
+def test_default_and_ablation_configs_validate():
+    cfg = ChipConfig()
+    for variant in (cfg, ChipConfig.craterlake_128k(), cfg.without_kshgen(),
+                    cfg.without_crb_chaining(), cfg.with_crossbar_network()):
+        validate_config(variant)  # no raise
+
+
+# -- (program, config) pairing ----------------------------------------------
+
+def test_program_above_native_degree_rejected():
+    with pytest.raises(ConfigError, match="native maximum"):
+        validate_program(_program(degree=131072), ChipConfig())
+
+
+def test_register_file_too_small_for_one_ciphertext():
+    cfg = ChipConfig(register_file_mb=0.001)
+    with pytest.raises(ConfigError, match="cannot hold"):
+        validate_program(_program(), cfg)
+
+
+def test_op_above_declared_max_level_rejected():
+    p = _program(max_level=8)
+    p.ops[2] = HomOp(kind=ADD, result="c", level=9, operands=("a", "b"))
+    with pytest.raises(ScheduleError, match="above the"):
+        validate_program(p, ChipConfig())
+
+
+def test_digits_exceeding_level_rejected():
+    p = _program()
+    p.ops[2] = HomOp(kind=MULT, result="c", level=2, operands=("a", "b"),
+                     hint_id="relin", digits=3)
+    with pytest.raises(ScheduleError, match="digits"):
+        validate_program(p, ChipConfig())
+
+
+def test_operand_before_definition_rejected():
+    p = Program(name="bad", degree=4096, max_level=8)
+    p.append(HomOp(kind=INPUT, result="a", level=4))
+    p.append(HomOp(kind=ADD, result="c", level=4, operands=("a", "ghost")))
+    with pytest.raises(ScheduleError, match="dataflow"):
+        validate_program(p, ChipConfig())
+
+
+def test_valid_program_passes():
+    validate_program(_program(), ChipConfig())  # no raise
+
+
+def test_simulate_runs_validation_up_front():
+    # The simulator must reject the pairing before executing any op.
+    with pytest.raises(ConfigError, match="native maximum"):
+        simulate(_program(degree=131072), ChipConfig())
+    # ...but the same program runs on the 128K variant.
+    result = simulate(_program(degree=131072), ChipConfig.craterlake_128k())
+    assert result.cycles > 0

@@ -120,9 +120,17 @@ def test_chrome_trace_round_trips(program, tmp_path):
         assert {"ph", "ts", "dur", "pid", "tid", "name"} <= set(e)
         assert e["ts"] >= 0
         assert e["dur"] > 0
-    # Both simulated lanes are present: FU compute and the HBM stream.
+    # The HBM stream lane plus per-FU-class compute lanes are present
+    # (every simulated compute slice lands on a class lane; FU_TID is the
+    # fallback for events without per-class data).
     tids = {e["tid"] for e in slices if e["pid"] == export.SIM_PID}
-    assert tids == {export.FU_TID, export.HBM_TID}
+    assert export.HBM_TID in tids
+    class_tids = tids - {export.FU_TID, export.HBM_TID}
+    assert class_tids, "expected per-FU-class compute lanes"
+    assert class_tids <= set(export.FU_CLASS_TIDS.values())
+    # Keyswitching exercises NTT and mul units, so both lanes must split out.
+    assert export.FU_CLASS_TIDS["ntt"] in class_tids
+    assert export.FU_CLASS_TIDS["mul"] in class_tids
     # Thread-name metadata is what makes Perfetto label the lanes.
     metas = [e for e in events if e["ph"] == "M"]
     assert any(e["name"] == "thread_name" for e in metas)
