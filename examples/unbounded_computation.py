@@ -9,6 +9,12 @@ going, which is Fig. 2 of the paper executed for real at toy parameters
 (takes ~1 minute).  The auto-inserted bootstraps are visible in the obs
 counters and the exported Chrome trace.
 
+The closing act runs the same kind of long chain under fault injection:
+a transient bit flip lands mid-computation, the sealed-ciphertext
+checksums catch it, and :class:`~repro.reliability.RecoveringExecutor`
+rolls back to the last checkpoint and replays - the final answer is
+bit-identical to the fault-free run.
+
     python examples/unbounded_computation.py
 """
 
@@ -18,6 +24,7 @@ import numpy as np
 
 from repro import Bootstrapper, CkksContext, CkksParams, obs
 from repro.reliability import NoiseBudgetExhaustedError, ReliabilityPolicy
+from repro.reliability.recovery import RecoveringExecutor, RecoveryPolicy
 
 
 def main():
@@ -72,6 +79,66 @@ def main():
     print("\na ciphertext that started with budget for zero multiplies "
           "ran arbitrarily deep -")
     print("computation depth is unbounded, exactly the paper's claim.")
+
+    recovery_demo()
+
+
+def recovery_demo():
+    """A transient fault mid-chain: detect, roll back, replay, match."""
+    print("\n-- fault recovery " + "-" * 54)
+    params = CkksParams(degree=128, max_level=4, digits=1,
+                        secret_hamming=8, seed=7)
+    ctx = CkksContext(params, policy=ReliabilityPolicy(checksums=True))
+    sk = ctx.keygen()
+    rot = ctx.rotation_hint(sk, 1)
+
+    rng = np.random.default_rng(0)
+    start = {name: ctx.snapshot(ctx.encrypt_values(
+                 sk, 0.5 * rng.standard_normal(ctx.params.slots)))
+             for name in ("acc", "base")}
+
+    def fresh():
+        return {name: ctx.restore(snap) for name, snap in start.items()}
+
+    def rot_step(c, s):
+        s["acc"] = c.rotate(s["acc"], 1, rot)
+
+    def add_step(c, s):
+        s["acc"] = c.add(s["acc"], s["base"])
+
+    steps = [(f"op{i}", rot_step if i % 2 == 0 else add_step)
+             for i in range(8)]
+
+    # Fault-free reference.
+    reference = fresh()
+    for _, fn in steps:
+        fn(ctx, reference)
+
+    # Same chain, but a cosmic ray flips one limb word at step 5.
+    fired = []
+
+    def faulty_step(c, s):
+        if not fired:
+            fired.append(True)
+            s["acc"].c0.data[0, 3] ^= np.uint64(1 << 17)
+        add_step(c, s)
+
+    trial = list(steps)
+    trial[5] = ("op5", faulty_step)
+
+    exe = RecoveringExecutor(ctx, RecoveryPolicy(checkpoint_every=2))
+    state, stats = exe.run(trial, fresh())
+
+    exact = (np.array_equal(state["acc"].c0.data, reference["acc"].c0.data)
+             and np.array_equal(state["acc"].c1.data,
+                                reference["acc"].c1.data))
+    print(f"injected 1 transient bit flip at step 5 of {len(steps)}")
+    print(f"detected {stats.detections} fault(s), rolled back "
+          f"{stats.rollbacks} time(s), replayed {stats.replayed_ops} op(s) "
+          f"from the step-{4} checkpoint")
+    print(f"final ciphertext bit-identical to the fault-free run: {exact}")
+    print("the chain self-healed: unbounded computation survives transient "
+          "hardware faults.")
 
 
 if __name__ == "__main__":

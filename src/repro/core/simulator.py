@@ -161,8 +161,19 @@ def _next_use_table(program: Program) -> list[dict[str, int]]:
     return table
 
 
-def simulate(program: Program, cfg: ChipConfig) -> SimResult:
-    """Run ``program`` on machine ``cfg``; see module docstring."""
+def simulate(program: Program, cfg: ChipConfig,
+             checkpoint_every: int = 0) -> SimResult:
+    """Run ``program`` on machine ``cfg``; see module docstring.
+
+    ``checkpoint_every`` > 0 models checkpointed execution (the recovery
+    layer's schedule-boundary snapshots, `repro.reliability.recovery`):
+    after every k-th compute op, the live intermediate state - all dirty
+    ciphertext residents - is written back through the HBM stream.  The
+    extra traffic lands under a ``"ckpt"`` key (present only when
+    enabled, so uncheckpointed results keep their exact shape) and
+    advances the memory clock, making the resilience bandwidth cost
+    visible in the same units as Fig. 10a's traffic split.
+    """
     validate_program(program, cfg)
     n = program.degree
     rf = _RegisterFile(cfg.register_file_words)
@@ -171,6 +182,9 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
     fu_busy: dict[str, float] = {}
     prev_result: str | None = None
     traffic = {KSH: 0.0, INPUTS: 0.0, "interm_load": 0.0, "interm_store": 0.0}
+    if checkpoint_every:
+        traffic["ckpt"] = 0.0
+    compute_ops = 0
     totals = OpCost()
     mem_clock = 0.0
     comp_clock = 0.0
@@ -295,6 +309,22 @@ def simulate(program: Program, cfg: ChipConfig) -> SimResult:
             capacity = max(1.0, _unit_capacity(cfg, cls))
             op_fu_cycles[cls] = elements / capacity
             fu_busy[cls] = fu_busy.get(cls, 0.0) + elements / capacity
+        # Checkpoint boundary: snapshot the live intermediate state through
+        # HBM.  Charged before the op's event is recorded so the advance
+        # still telescopes into the per-op cycle accounting.
+        compute_ops += 1
+        if checkpoint_every and compute_ops % checkpoint_every == 0:
+            ckpt_words = sum(
+                r.words for r in rf.objects.values()
+                if r.category == INTERM and r.dirty
+            )
+            if ckpt_words:
+                traffic["ckpt"] += ckpt_words
+                mem_words += ckpt_words
+                mem_clock += ckpt_words / words_per_cycle
+                if tr is not None:
+                    tr.count("sim.checkpoints")
+                    tr.count("sim.checkpoint_words", ckpt_words)
         if tr is not None:
             if chained and cfg.chaining:
                 tr.count("sim.chain_hits")

@@ -261,15 +261,66 @@ class CkksContext:
             verify_limbs(ct.c1.data, ct.c1.basis.moduli, ct.integrity[1],
                          f"{what}.c1")
 
+    def snapshot(self, ct: Ciphertext):
+        """Sealed deep copy of ``ct`` for checkpoint/replay recovery.
+
+        Verifies the ciphertext's integrity first (when sealed), so a
+        corrupted operand is detected *at the checkpoint boundary*
+        instead of being enshrined as a rollback target.  Returns a
+        :class:`repro.reliability.recovery.CiphertextSnapshot`.
+        """
+        from repro.reliability import recovery  # deferred: it imports fhe
+
+        if self.policy.checksums:
+            self.verify_integrity(ct, "snapshot operand")
+        with obs.span("reliability.recovery.snapshot", "reliability"):
+            return recovery.snapshot_ciphertext(ct)
+
+    def restore(self, snap) -> Ciphertext:
+        """Materialize a snapshot, re-verifying its seal (bit-identical
+        to the ciphertext :meth:`snapshot` captured)."""
+        with obs.span("reliability.recovery.restore", "reliability"):
+            return snap.restore()
+
     def _finish(self, out: Ciphertext, kind: str,
-                *parents: Ciphertext) -> Ciphertext:
-        """Post-op bookkeeping: thread the noise budget, seal the result."""
+                *parents: Ciphertext, seal: bool = True) -> Ciphertext:
+        """Post-op bookkeeping: thread the noise budget, seal the result.
+
+        ``seal=False`` skips the fresh reseal for ops that already carried
+        their operands' seals forward (see :meth:`_carry_seal`).
+        """
         policy = self.policy
         if policy.track_noise:
             self._thread_budget(out, kind, parents)
-        if policy.checksums:
+        if policy.checksums and seal:
             self.seal(out)
         return out
+
+    def _carry_seal(self, out: Ciphertext, a: Ciphertext, b: Ciphertext,
+                    sign: int) -> bool:
+        """Derive a linear op's output seal from its operands' seals.
+
+        Limb checksums are additive mod q, so ``sum((a +- b) mod q) ==
+        (sum(a) +- sum(b)) mod q`` limb by limb: the *clean-input* seal
+        carries through add/sub without re-reading the data.  This is
+        what keeps a corrupted operand detectable - a fresh reseal over
+        already-corrupted limbs would launder the fault into a validly
+        sealed result, while the carried seal mismatches the damaged
+        data at the next verification boundary (keyswitch operand check,
+        eviction sweep, or checkpoint).  Returns False (caller reseals
+        fresh) when either operand is unsealed.
+        """
+        if (not self.policy.checksums or a.integrity is None
+                or b.integrity is None):
+            return False
+        q = np.array(out.c0.basis.moduli, dtype=np.uint64)
+        if sign >= 0:
+            out.integrity = ((a.integrity[0] + b.integrity[0]) % q,
+                             (a.integrity[1] + b.integrity[1]) % q)
+        else:
+            out.integrity = ((a.integrity[0] + q - b.integrity[0]) % q,
+                             (a.integrity[1] + q - b.integrity[1]) % q)
+        return True
 
     def _thread_budget(self, out, kind, parents) -> None:
         budgets = [p.budget for p in parents
@@ -485,13 +536,15 @@ class CkksContext:
         check_same_basis(a, b, "add")
         self._check_add(a, b)
         out = Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.scale)
-        return self._finish(out, "add", a, b)
+        carried = self._carry_seal(out, a, b, 1)
+        return self._finish(out, "add", a, b, seal=not carried)
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         check_same_basis(a, b, "sub")
         self._check_add(a, b)
         out = Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.scale)
-        return self._finish(out, "add", a, b)
+        carried = self._carry_seal(out, a, b, -1)
+        return self._finish(out, "add", a, b, seal=not carried)
 
     def negate(self, a: Ciphertext) -> Ciphertext:
         return self._finish(Ciphertext(-a.c0, -a.c1, a.scale), "copy", a)

@@ -255,6 +255,9 @@ def boosted_keyswitch(
         acc0, acc1 = _accumulate_digits(coeff, hint, target)
         ks0 = mod_down(acc0, q_level, aux_basis)
         ks1 = mod_down(acc1, q_level, aux_basis)
+        # The keyswitch working set displaces register-file residents: let
+        # an installed integrity boundary hook sweep the evictees' seals.
+        _guards.keyswitch_boundary()
         return ks0, ks1
 
 
@@ -277,4 +280,5 @@ def standard_keyswitch(
         q_level = poly.basis
         coeff = poly.to_coeff()
         acc0, acc1 = _accumulate_digits(coeff, hint, q_level)
+        _guards.keyswitch_boundary()
         return acc0, acc1

@@ -76,6 +76,9 @@ class NttContext:
         self.psi_bitrev = powers[rev]
         self.psi_inv_bitrev = powers_inv[rev]
         self.n_inv = pow(degree, modulus - 2, modulus)
+        self._rev = rev
+        self._psi = psi
+        self._inv_check_vec: np.ndarray | None = None
 
     @classmethod
     def get(cls, modulus: int, degree: int) -> "NttContext":
@@ -97,33 +100,89 @@ class NttContext:
                 out = self._forward(coeffs)
         else:
             out = self._forward(coeffs)
-        return self._post_transform(coeffs, out, self._forward)
+        return self._post_transform(coeffs, out, self._forward, False)
 
-    def _post_transform(self, data, out, kernel):
-        """Reliability tail of a transform: fault hook, then spot recheck.
+    def _post_transform(self, data, out, kernel, inverse: bool):
+        """Reliability tail of a transform: fault hook, then checks.
 
         An installed fault injector corrupts the *output* (a butterfly
-        compute fault - the input stays clean, so re-execution is a valid
-        oracle).  When the integrity switch asks for it, every k-th
-        transform is re-executed and compared; a mismatch is a detected
-        compute fault.  With neither installed this costs two None tests.
+        compute fault - the input stays clean, so both checks below have a
+        clean reference).  When the integrity switch is on, the end-of-op
+        transform checksum (:meth:`verify_transform`, O(N), deterministic
+        for single-word corruption) runs after every transform, and every
+        k-th transform is additionally re-executed and compared.  With
+        neither installed this costs two None tests.
         """
         injector = _faults.active_injector()
         if injector is not None:
             injector.maybe_corrupt(_faults.NTT, out)
         integ = _guards.integrity_active()
-        if integ is not None and integ.ntt_recheck_every:
-            integ.ntt_calls += 1
-            if integ.ntt_calls % integ.ntt_recheck_every == 0:
-                with obs.span("reliability.ntt.recheck", "reliability"):
-                    obs.count("reliability.ntt.recheck")
-                    if not np.array_equal(out, kernel(data)):
-                        raise FaultDetectedError(
-                            "NTT re-execution disagrees with first run; "
-                            "compute fault in a butterfly",
-                            modulus=self.modulus, degree=self.degree,
-                        )
+        if integ is not None:
+            if integ.ntt_checksum:
+                self.verify_transform(data, out, inverse)
+            if integ.ntt_recheck_every:
+                integ.ntt_calls += 1
+                if integ.ntt_calls % integ.ntt_recheck_every == 0:
+                    with obs.span("reliability.ntt.recheck", "reliability"):
+                        obs.count("reliability.ntt.recheck")
+                        if not np.array_equal(out, kernel(data)):
+                            raise FaultDetectedError(
+                                "NTT re-execution disagrees with first run; "
+                                "compute fault in a butterfly",
+                                modulus=self.modulus, degree=self.degree,
+                            )
         return out
+
+    # -- end-of-op transform checksums ------------------------------------
+    #
+    # The transform is linear, so one fixed linear functional of the output
+    # can be predicted from the input in O(N).  Evaluating the residue
+    # polynomial at x=1 gives both directions:
+    #
+    # * forward:  out[j] enumerates x(w_j) over the primitive 2N-th roots
+    #   w_j = psi^(2*br(j)+1); summing the geometric series in k shows
+    #   sum_j out[j] == N * in[0]  (mod q).
+    # * inverse:  out(1) = sum_k out[k] expressed through the interpolation
+    #   formula is (1/N) * sum_j c_j * in[j] with c_j = 2*w_j/(w_j - 1)
+    #   (using w_j^N = -1), a per-context constant vector.
+    #
+    # A corrupted output word shifts the checked sum by a nonzero delta
+    # mod q (bit flips below the modulus width cannot be multiples of q),
+    # so single-word compute faults are caught with certainty at the cost
+    # of one vector sum (forward) or one multiply-accumulate row (inverse).
+
+    def _inverse_check_vector(self) -> np.ndarray:
+        c = self._inv_check_vec
+        if c is None:
+            q = self.modulus
+            c = np.empty(self.degree, dtype=np.uint64)
+            for j in range(self.degree):
+                w = pow(self._psi, 2 * int(self._rev[j]) + 1, q)
+                c[j] = 2 * w * pow((w - 1) % q, q - 2, q) % q
+            self._inv_check_vec = c
+        return c
+
+    def verify_transform(self, data, out, inverse: bool) -> None:
+        """Raise :class:`FaultDetectedError` on a transform-checksum
+        mismatch between input ``data`` and output ``out`` (last axis)."""
+        with obs.span("reliability.ntt.checksum", "reliability"):
+            obs.count("reliability.ntt.checksum")
+            q = np.uint64(self.modulus)
+            n_mod = np.uint64(self.degree % self.modulus)
+            data = np.asarray(data, dtype=np.uint64)
+            if inverse:
+                expect = (self._inverse_check_vector() * data % q).sum(
+                    axis=-1, dtype=np.uint64) % q
+                got = n_mod * (out.sum(axis=-1, dtype=np.uint64) % q) % q
+            else:
+                expect = n_mod * data[..., 0] % q
+                got = out.sum(axis=-1, dtype=np.uint64) % q
+            if not np.array_equal(got, expect):
+                raise FaultDetectedError(
+                    "transform checksum mismatch; compute fault in an "
+                    f"{'iNTT' if inverse else 'NTT'} butterfly",
+                    modulus=self.modulus, degree=self.degree,
+                )
 
     def _forward(self, coeffs: np.ndarray) -> np.ndarray:
         q = np.uint64(self.modulus)
@@ -152,7 +211,7 @@ class NttContext:
                 out = self._inverse(values)
         else:
             out = self._inverse(values)
-        return self._post_transform(values, out, self._inverse)
+        return self._post_transform(values, out, self._inverse, True)
 
     def _inverse(self, values: np.ndarray) -> np.ndarray:
         q = np.uint64(self.modulus)

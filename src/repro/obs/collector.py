@@ -75,11 +75,16 @@ class Span:
 class Collector:
     """Accumulates counters, spans and op events for one traced region."""
 
-    def __init__(self):
+    def __init__(self, **meta: object):
         self.counters: dict[str, float] = {}
         self.spans: list[Span] = []
         self.op_events: list[OpEvent] = []
-        self.meta: dict[str, object] = {}
+        # Free-form run tags (config name, sweep point, campaign seed...).
+        # The convention: anything that distinguishes *this* collector's run
+        # from its siblings goes here, so batch consumers (design-space
+        # sweeps, recovery campaigns) can label collectors without
+        # side-channel bookkeeping.  Exporters carry it through verbatim.
+        self.meta: dict[str, object] = dict(meta)
 
     # -- recording ---------------------------------------------------------
 
@@ -147,11 +152,12 @@ _NULL_SPAN = _NullSpan()
 _active: Collector | None = None
 
 
-def enable() -> Collector:
+def enable(**meta: object) -> Collector:
     """Install (and return) a fresh collector; tracing is on until
-    :func:`disable`."""
+    :func:`disable`.  Keyword arguments become the collector's ``meta``
+    tags (see :attr:`Collector.meta`)."""
     global _active
-    _active = Collector()
+    _active = Collector(**meta)
     return _active
 
 
@@ -173,12 +179,13 @@ def is_enabled() -> bool:
 
 
 @contextmanager
-def collecting():
+def collecting(**meta: object):
     """Scoped tracing: ``with obs.collecting() as c: ...`` - restores the
-    previous collector (usually None) on exit, so tests can't leak state."""
+    previous collector (usually None) on exit, so tests can't leak state.
+    Keyword arguments become the collector's ``meta`` tags."""
     global _active
     previous = _active
-    _active = Collector()
+    _active = Collector(**meta)
     try:
         yield _active
     finally:

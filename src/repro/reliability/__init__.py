@@ -29,6 +29,7 @@ from repro.reliability.errors import (
     ReproError,
     ScaleMismatchError,
     ScheduleError,
+    UnrecoverableFaultError,
 )
 from repro.reliability.guards import (
     DEGRADE,
@@ -43,8 +44,15 @@ from repro.reliability.validate import validate_config, validate_program
 # __init__ would put it in sys.modules before ``python -m
 # repro.reliability.faults`` executes it as __main__, which runpy warns
 # about (and which would split the injector switch across two instances).
+# The recovery module rides the same mechanism so ``import
+# repro.reliability`` stays light.
 _FAULTS_NAMES = ("CampaignResult", "FaultInjector", "injecting",
                  "run_campaign")
+_RECOVERY_NAMES = ("Checkpoint", "CiphertextSnapshot", "DiskStore",
+                   "RecoveringExecutor", "RecoveryCampaignResult",
+                   "RecoveryPolicy", "RecoveryStats", "RingBufferStore",
+                   "run_recovery_campaign", "snapshot_ciphertext",
+                   "take_checkpoint", "restore_checkpoint")
 
 
 def __getattr__(name):
@@ -52,29 +60,46 @@ def __getattr__(name):
         from repro.reliability import faults
 
         return getattr(faults, name)
+    if name in _RECOVERY_NAMES:
+        from repro.reliability import recovery
+
+        return getattr(recovery, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "CampaignResult",
+    "Checkpoint",
+    "CiphertextSnapshot",
     "ConfigError",
     "DEGRADE",
+    "DiskStore",
     "FaultDetectedError",
     "FaultInjector",
     "IntegrityConfig",
     "LevelMismatchError",
     "NoiseBudgetExhaustedError",
     "ParameterError",
+    "RecoveringExecutor",
+    "RecoveryCampaignResult",
+    "RecoveryPolicy",
+    "RecoveryStats",
     "ReliabilityPolicy",
     "ReproError",
+    "RingBufferStore",
     "STRICT",
     "ScaleMismatchError",
     "ScheduleError",
+    "UnrecoverableFaultError",
     "injecting",
     "integrity",
     "limb_checksums",
     "mismatched_limbs",
+    "restore_checkpoint",
     "run_campaign",
+    "run_recovery_campaign",
+    "snapshot_ciphertext",
+    "take_checkpoint",
     "validate_config",
     "validate_program",
     "verify_limbs",

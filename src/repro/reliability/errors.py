@@ -24,6 +24,9 @@ The taxonomy mirrors where things go wrong in an FHE pipeline:
   NTT re-execution) caught corrupted data.  Subclasses
   :class:`RuntimeError`, not :class:`ValueError`: the inputs were valid,
   the data was damaged in flight.
+* :class:`UnrecoverableFaultError` - checkpoint replay *and* every
+  escalation (older checkpoints, full restart) failed to clear a
+  detected fault; subclasses :class:`FaultDetectedError`.
 
 Errors carry an optional ``context`` dict of machine-readable details
 (op name, levels, scales) appended to the message, so failures deep in a
@@ -70,3 +73,14 @@ class ConfigError(ReproError, ValueError):
 
 class FaultDetectedError(ReproError, RuntimeError):
     """An integrity check detected corrupted data (not a usage error)."""
+
+
+class UnrecoverableFaultError(FaultDetectedError):
+    """Recovery exhausted every escalation level and still hit faults.
+
+    Raised by :class:`repro.reliability.recovery.RecoveringExecutor` after
+    checkpoint replays *and* full-program restarts all failed.  Subclasses
+    :class:`FaultDetectedError` so ``except FaultDetectedError`` handlers
+    see it; the context carries the escalation history (retries, restarts,
+    the failing step) for post-mortems.
+    """

@@ -14,10 +14,12 @@ chip:
   scratch data corrupted at rest, caught by operand checksums verified
   at keyswitch boundaries);
 * ``ntt``   - an NTT butterfly output *inside* a keyswitch (a compute
-  fault; only double-execution spot checks can see it);
+  fault, caught deterministically by the end-of-op transform checksum -
+  see ``NttContext.verify_transform``);
 * ``rf``    - residue words of a random register-file *resident* (a
-  live ciphertext not necessarily consumed next; caught by spot checks
-  over the resident pool at keyswitch boundaries);
+  live ciphertext not consumed next; caught by the eviction sweep the
+  keyswitch boundary hook runs over the resident pool, modeling
+  verify-on-evict of the words the keyswitch working set displaces);
 * ``hbm``   - keyswitch-hint rows as they are loaded (a transfer fault,
   caught by hint checksums verified on arrival).
 
@@ -27,12 +29,18 @@ keyswitch hot paths; with no injector installed those checks are a
 single ``is None`` test.  All randomness flows from one seed, so a
 campaign is exactly reproducible.
 
-Run the acceptance campaign from the command line::
+Run the acceptance campaigns from the command line::
 
-    PYTHONPATH=src python -m repro.reliability.faults --faults 1000
+    PYTHONPATH=src python -m repro.reliability --faults 1000
+    PYTHONPATH=src python -m repro.reliability --recovery --faults 1000
+    PYTHONPATH=src python -m repro.reliability --check
 
-which exits nonzero unless limb-corruption detection >= 95% and a clean
-run produced zero false positives.
+The first exits nonzero unless limb-corruption detection >= 95% and a
+clean run produced zero false positives; ``--recovery`` runs the
+checkpoint/replay campaign (`repro.reliability.recovery`); ``--check``
+reruns both at the parameters pinned in ``tests/reliability/
+baseline.json`` and exits nonzero if any site's detection or recovery
+rate regressed below the committed baseline.
 """
 
 from __future__ import annotations
@@ -199,7 +207,8 @@ class CampaignResult:
 
 
 _CHECK_SPANS = ("reliability.checksum.seal", "reliability.checksum.verify",
-                "reliability.ntt.recheck", "reliability.hint.verify")
+                "reliability.ntt.recheck", "reliability.ntt.checksum",
+                "reliability.hint.verify", "reliability.rf.evict_verify")
 
 
 def _check_seconds(collector) -> float:
@@ -209,16 +218,17 @@ def _check_seconds(collector) -> float:
 
 def run_campaign(seed: int = 2022, faults: int = 1000, degree: int = 256,
                  max_level: int = 6, pool_size: int = 8, clean_ops: int = 64,
-                 rf_spot_fraction: float = 0.5,
-                 ntt_recheck_every: int = 4) -> CampaignResult:
+                 ntt_recheck_every: int = 0) -> CampaignResult:
     """Inject ``faults`` seeded corruptions and measure what gets caught.
 
     Builds one CKKS context with checksum sealing on, a pool of
     ``pool_size`` resident ciphertexts, and one rotation hint; then
     round-robins the four sites, arming exactly one corruption per trial
     and consuming a ciphertext through a keyswitch (the detection
-    boundary).  A clean phase first proves the detectors are silent on
-    uncorrupted data.
+    boundary).  Register-file residents are covered by the eviction
+    sweep installed as the keyswitch boundary hook; NTT butterflies by
+    the end-of-op transform checksum.  A clean phase first proves the
+    detectors are silent on uncorrupted data.
 
     Everything is driven by ``seed``; two runs with the same arguments
     produce identical numbers.
@@ -238,14 +248,26 @@ def run_campaign(seed: int = 2022, faults: int = 1000, degree: int = 256,
 
     own_collector = not obs.is_enabled()
     collector = obs.enable() if own_collector else obs.active()
+    collector.meta.setdefault("campaign", "detection")
+    collector.meta.update(seed=seed, faults=faults, degree=degree)
 
     def fresh(i: int):
         vals = 0.5 * rng.standard_normal(params.slots)
         return ctx.encrypt_values(sk, vals)
 
     pool = [fresh(i) for i in range(pool_size)]
-    integrity = guards.IntegrityConfig(verify_hints=True,
-                                       ntt_recheck_every=ntt_recheck_every)
+
+    def evict_sweep():
+        # Keyswitch boundary: its working set displaces the register
+        # file, so every resident's words are about to be written back -
+        # verify each seal on the way out.
+        with obs.span("reliability.rf.evict_verify", "reliability"):
+            for resident in pool:
+                ctx.verify_integrity(resident, "rf evictee")
+
+    integrity = guards.IntegrityConfig(verify_hints=True, ntt_checksum=True,
+                                       ntt_recheck_every=ntt_recheck_every,
+                                       boundary_hook=evict_sweep)
 
     stats = {site: SiteStats() for site in SITES}
     false_positives = 0
@@ -283,14 +305,15 @@ def run_campaign(seed: int = 2022, faults: int = 1000, degree: int = 256,
                             except FaultDetectedError:
                                 detected = True
                         else:
-                            # Corrupted *resident*: a keyswitch boundary
-                            # spot-checks a random subset of the pool.
-                            spots = rng.random(pool_size) < rf_spot_fraction
-                            for j in np.nonzero(spots)[0]:
-                                try:
-                                    ctx.verify_integrity(pool[int(j)])
-                                except FaultDetectedError:
-                                    detected = True
+                            # Corrupted *resident*: some other ciphertext's
+                            # keyswitch displaces the register file, and the
+                            # boundary hook's eviction sweep checks every
+                            # resident's seal on the way out.
+                            other = pool[(idx + 1) % pool_size]
+                            try:
+                                ctx.rotate(other, 1, rot)
+                            except FaultDetectedError:
+                                detected = True
                     else:
                         # Compute (ntt) / transfer (hbm) faults fire inside
                         # the keyswitch of an otherwise clean rotation.
@@ -328,18 +351,107 @@ def run_campaign(seed: int = 2022, faults: int = 1000, degree: int = 256,
     )
 
 
+DEFAULT_BASELINE = "tests/reliability/baseline.json"
+
+
+def check_against_baseline(baseline_path) -> int:
+    """Rerun both campaigns at the baseline's pinned parameters and fail
+    (nonzero) if any site's detection or recovery rate regressed."""
+    import json
+    from pathlib import Path
+
+    from repro.reliability import recovery as _recovery
+
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = []
+
+    det_base = baseline["detection"]
+    det = run_campaign(**det_base["params"])
+    print(det.report())
+    print()
+    if det.false_positives:
+        failures.append(f"detection: {det.false_positives} false positives")
+    for site, want in det_base["rates"].items():
+        got = det.detection_rate(site)
+        if got < want:
+            failures.append(
+                f"detection[{site}]: {got:.1%} < baseline {want:.1%}")
+
+    rec_base = baseline["recovery"]
+    rec = _recovery.run_recovery_campaign(**rec_base["params"])
+    print(rec.report())
+    print()
+    if rec.false_positives:
+        failures.append(f"recovery: {rec.false_positives} false positives")
+    if rec.recovery_rate < rec_base["recovery_rate"]:
+        failures.append(f"recovery rate: {rec.recovery_rate:.1%} < baseline "
+                        f"{rec_base['recovery_rate']:.1%}")
+    for site, want in rec_base.get("detection_rates", {}).items():
+        s = rec.sites[site]
+        got = s.detected / s.injected if s.injected else 0.0
+        if got < want:
+            failures.append(
+                f"recovery-detection[{site}]: {got:.1%} < baseline {want:.1%}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: detection and recovery rates at or above {baseline_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="Seeded fault-injection campaign over the CKKS substrate")
+        description="Seeded fault-injection campaigns over the CKKS "
+                    "substrate (detection by default)")
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--faults", type=int, default=1000)
     parser.add_argument("--degree", type=int, default=256)
     parser.add_argument("--max-level", type=int, default=6)
     parser.add_argument("--assert-limb-detection", type=float, default=0.95,
                         help="exit nonzero if limb detection falls below this")
+    parser.add_argument("--recovery", action="store_true",
+                        help="run the checkpoint/replay recovery campaign "
+                             "instead of the detection campaign")
+    parser.add_argument("--assert-recovery", type=float, default=0.95,
+                        help="with --recovery: exit nonzero if the fraction "
+                             "of detected faults recovered falls below this")
+    parser.add_argument("--check", action="store_true",
+                        help="regression-check both campaigns against the "
+                             "committed baseline JSON and exit nonzero on "
+                             "any rate drop")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline JSON for --check "
+                             f"(default: {DEFAULT_BASELINE})")
     args = parser.parse_args(argv)
+
+    if args.check:
+        return check_against_baseline(args.baseline)
+
+    if args.recovery:
+        from repro.reliability import recovery as _recovery
+
+        result = _recovery.run_recovery_campaign(
+            seed=args.seed, faults=args.faults, degree=args.degree,
+            max_level=args.max_level)
+        print(result.report())
+        ok = True
+        if result.false_positives:
+            print(f"FAIL: {result.false_positives} false positives on "
+                  "clean runs")
+            ok = False
+        if result.recovery_rate < args.assert_recovery:
+            print(f"FAIL: recovery rate {result.recovery_rate:.1%} < "
+                  f"{args.assert_recovery:.0%}")
+            ok = False
+        if ok:
+            print(f"OK: {result.recovered}/{result.detected} detected "
+                  f"faults recovered ({result.recovery_rate:.1%}), "
+                  "zero false positives")
+        return 0 if ok else 1
 
     result = run_campaign(seed=args.seed, faults=args.faults,
                           degree=args.degree, max_level=args.max_level)

@@ -135,13 +135,25 @@ class IntegrityConfig:
 
     ``verify_hints`` checks per-limb checksums of keyswitch-hint rows as
     they are loaded (the HBM-transfer trust boundary);
+    ``ntt_checksum`` verifies the end-of-op transform checksum after
+    every NTT/iNTT - an O(N) linearity invariant (see
+    ``NttContext.verify_transform``) that deterministically catches any
+    single corrupted output word, closing the butterfly-fault detection
+    gap the re-execution spot check left;
     ``ntt_recheck_every`` re-executes every k-th NTT and compares (a
-    deterministic double-execution spot check for compute faults; 0
-    disables).
+    double-execution spot check that also covers multi-word corruptions;
+    0 disables);
+    ``boundary_hook`` is invoked at every keyswitch boundary - the
+    natural detection point for register-file residents about to be
+    displaced by the keyswitch working set.  Fault campaigns install an
+    eviction sweep here that re-verifies each evictee's seal before its
+    words would be written back.
     """
 
     verify_hints: bool = True
+    ntt_checksum: bool = True
     ntt_recheck_every: int = 0
+    boundary_hook: object | None = None  # callable () -> None
     # Running transform count; the NTT layer increments it so "every k-th"
     # is deterministic per integrity scope, not per process.
     ntt_calls: int = 0
@@ -166,6 +178,19 @@ def disable_integrity() -> IntegrityConfig | None:
 def integrity_active() -> IntegrityConfig | None:
     """The live integrity config, or None when checks are off."""
     return _integrity
+
+
+def keyswitch_boundary() -> None:
+    """Fire the active config's boundary hook (keyswitch detection point).
+
+    Called by `repro.fhe.keyswitch` after each hint application; a hook
+    that finds corruption raises :class:`FaultDetectedError`, which
+    propagates out of the consuming homomorphic op.  One ``is None``
+    test when integrity checking is off.
+    """
+    config = _integrity
+    if config is not None and config.boundary_hook is not None:
+        config.boundary_hook()
 
 
 @contextmanager

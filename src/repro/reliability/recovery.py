@@ -1,0 +1,840 @@
+"""Checkpoint/replay recovery: detected faults become resumed computation.
+
+PR 2's detection substrate (per-limb checksums, hint verification, NTT
+transform checksums) turns silent corruption into
+:class:`~repro.reliability.errors.FaultDetectedError` - but a deep
+bootstrapped program that *aborts* on every transient still wastes
+minutes of work.  This module closes the loop: sealed ciphertext state is
+snapshotted at schedule boundaries, and a :class:`RecoveringExecutor`
+rolls a faulted program back to the last valid checkpoint, replays only
+the affected ops, and escalates (older checkpoint -> full restart ->
+:class:`UnrecoverableFaultError`) when replay keeps failing.
+
+Layering: this package sits *below* the fhe layer, so everything touching
+:class:`~repro.fhe.ckks.Ciphertext` does deferred imports, mirroring
+`repro.reliability.faults`.
+
+Three pieces:
+
+* **Snapshots** (:class:`CiphertextSnapshot`, :class:`Checkpoint`) -
+  deep copies of the RNS limbs plus every piece of live bookkeeping
+  (scale, basis moduli, NoiseBudget, integrity seals).  Checkpoint
+  creation verifies each entry's seal first, so a corrupted ciphertext
+  can never be enshrined as a rollback target; restoration re-verifies,
+  so a checkpoint corrupted *at rest* is itself detected and skipped.
+* **Stores** (:class:`RingBufferStore`, :class:`DiskStore`) - where
+  checkpoints live: a bounded in-memory ring for long-running programs,
+  or ``.npz`` + JSON sidecar files for cross-process resume.
+* **The executor** (:class:`RecoveryPolicy`, :class:`RecoveringExecutor`)
+  - runs a list of named steps over a dict of named ciphertexts,
+  checkpointing every ``checkpoint_every`` steps and recovering from
+  ``FaultDetectedError`` per the policy.  Replay is deterministic: the
+  homomorphic ops between checkpoints use no randomness, so a clean
+  replay is bit-identical to a clean first execution (asserted by the
+  recovery campaign against fault-free references).
+
+Checkpoint and replay cost is threaded into the cycle model: a
+checkpoint writes ``2*L*N`` residue words through the HBM stream
+(:func:`checkpoint_cycles`), replayed steps re-pay their compute cycles,
+and both are accumulated into :class:`RecoveryStats` and emitted as obs
+counters (``reliability.recovery.*``) so the overhead of resilience is
+measurable, not assumed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import collector as obs
+from repro.reliability.checksums import limb_checksums
+from repro.reliability.errors import (
+    FaultDetectedError,
+    ParameterError,
+    UnrecoverableFaultError,
+)
+
+
+# -- ciphertext snapshots ----------------------------------------------------
+
+
+@dataclass
+class CiphertextSnapshot:
+    """Everything needed to rebuild one sealed ciphertext bit-for-bit."""
+
+    moduli: tuple[int, ...]
+    data0: np.ndarray  # (L, N) uint64 residue copy of c0
+    data1: np.ndarray
+    domain0: str
+    domain1: str
+    scale: float
+    budget_noise_bits: float | None = None  # NoiseBudget state, if threaded
+    budget_sigma: float | None = None
+    budget_mod_bits: int | None = None
+    checksums0: np.ndarray | None = None  # per-limb seals at snapshot time
+    checksums1: np.ndarray | None = None
+
+    def size_words(self) -> int:
+        return int(self.data0.size + self.data1.size)
+
+    def restore(self):
+        """Materialize a fresh :class:`~repro.fhe.ckks.Ciphertext`.
+
+        Verifies the snapshot's own seals before handing the data out, so
+        a checkpoint corrupted at rest raises ``FaultDetectedError``
+        instead of becoming a poisoned rollback target.
+        """
+        from repro.fhe.ckks import Ciphertext  # deferred: fhe imports us
+        from repro.fhe.poly import RnsPoly
+        from repro.fhe.rns import RnsBasis
+
+        basis = RnsBasis(self.moduli)
+        data0 = self.data0.copy()
+        data1 = self.data1.copy()
+        if self.checksums0 is not None:
+            current0 = limb_checksums(data0, self.moduli)
+            current1 = limb_checksums(data1, self.moduli)
+            if (not np.array_equal(current0, self.checksums0)
+                    or not np.array_equal(current1, self.checksums1)):
+                obs.count("reliability.recovery.bad_checkpoint")
+                raise FaultDetectedError(
+                    "checkpoint failed its own seal on restore; the "
+                    "snapshot was corrupted at rest",
+                )
+        ct = Ciphertext(
+            RnsPoly(basis, data0, self.domain0),
+            RnsPoly(basis, data1, self.domain1),
+            self.scale,
+        )
+        if self.budget_noise_bits is not None:
+            from repro.fhe.noise import NoiseBudget
+
+            ct.budget = NoiseBudget(
+                degree=ct.degree,
+                modulus_bits_per_level=self.budget_mod_bits,
+                levels=ct.level,
+                sigma=self.budget_sigma,
+                noise_bits=self.budget_noise_bits,
+            )
+        if self.checksums0 is not None:
+            ct.integrity = (self.checksums0.copy(), self.checksums1.copy())
+        return ct
+
+
+def snapshot_ciphertext(ct) -> CiphertextSnapshot:
+    """Deep-copy one ciphertext's limbs and bookkeeping, sealing the copy."""
+    checks0 = checks1 = None
+    if ct.integrity is not None:
+        checks0, checks1 = (ct.integrity[0].copy(), ct.integrity[1].copy())
+    else:
+        checks0 = limb_checksums(ct.c0.data, ct.c0.basis.moduli)
+        checks1 = limb_checksums(ct.c1.data, ct.c1.basis.moduli)
+    budget_bits = budget_sigma = budget_mod_bits = None
+    if ct.budget is not None:
+        budget_bits = ct.budget.noise_bits
+        budget_sigma = ct.budget.sigma
+        budget_mod_bits = ct.budget.modulus_bits_per_level
+    return CiphertextSnapshot(
+        moduli=ct.basis.moduli,
+        data0=ct.c0.data.copy(), data1=ct.c1.data.copy(),
+        domain0=ct.c0.domain, domain1=ct.c1.domain,
+        scale=ct.scale,
+        budget_noise_bits=budget_bits, budget_sigma=budget_sigma,
+        budget_mod_bits=budget_mod_bits,
+        checksums0=checks0, checksums1=checks1,
+    )
+
+
+@dataclass
+class Checkpoint:
+    """Sealed program state at one schedule boundary."""
+
+    step: int                 # next step index to execute after restore
+    entries: dict[str, CiphertextSnapshot]
+    label: str = ""
+    cycles: float = 0.0       # cycle-model cost charged for writing it
+
+    def size_words(self) -> int:
+        return sum(s.size_words() for s in self.entries.values())
+
+
+def take_checkpoint(ctx, state: dict, step: int, label: str = "",
+                    verify: bool = True) -> Checkpoint:
+    """Snapshot every ciphertext in ``state`` after verifying its seal.
+
+    The verification is what keeps rollback targets trustworthy: a limb
+    corrupted *before* the boundary raises ``FaultDetectedError`` here,
+    at the checkpoint, and the executor rolls back to the previous valid
+    one instead of enshrining poisoned state.
+    """
+    with obs.span("reliability.recovery.checkpoint", "reliability"):
+        obs.count("reliability.recovery.checkpoints")
+        entries = {}
+        for name, ct in state.items():
+            if verify:
+                ctx.verify_integrity(ct, f"checkpoint entry {name!r}")
+            entries[name] = snapshot_ciphertext(ct)
+        return Checkpoint(step=step, entries=entries, label=label)
+
+
+def restore_checkpoint(ckpt: Checkpoint) -> dict:
+    """Materialize every entry; raises if the checkpoint itself is bad."""
+    with obs.span("reliability.recovery.restore", "reliability"):
+        obs.count("reliability.recovery.restores")
+        return {name: snap.restore() for name, snap in ckpt.entries.items()}
+
+
+def checkpoint_cycles(ckpt: Checkpoint, cfg) -> float:
+    """Cycle-model cost of writing ``ckpt`` through the HBM stream."""
+    return ckpt.size_words() / cfg.hbm_words_per_cycle
+
+
+# -- checkpoint stores -------------------------------------------------------
+
+
+class RingBufferStore:
+    """Last-``capacity`` checkpoints in memory; the long-running default."""
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ParameterError("ring buffer needs capacity >= 1",
+                                 capacity=capacity)
+        self._ring: deque[Checkpoint] = deque(maxlen=capacity)
+
+    def save(self, ckpt: Checkpoint) -> None:
+        self._ring.append(ckpt)
+
+    def latest(self) -> Checkpoint | None:
+        return self._ring[-1] if self._ring else None
+
+    def drop_latest(self) -> Checkpoint | None:
+        """Discard the newest checkpoint (escalation: it may be suspect)."""
+        return self._ring.pop() if self._ring else None
+
+    def checkpoints(self) -> list[Checkpoint]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class DiskStore:
+    """Checkpoints as ``.npz`` files with a JSON metadata sidecar.
+
+    One file per checkpoint (``<prefix>_<step>.npz``): arrays under
+    ``<name>.c0`` / ``<name>.c1`` / ``<name>.sum0`` / ``<name>.sum1``
+    keys, scalar bookkeeping in the sidecar.  Loading re-verifies every
+    entry's seal, so on-disk corruption is detected, not decrypted.
+    """
+
+    def __init__(self, directory, prefix: str = "ckpt"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+
+    def _path(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}_{step:06d}.npz"
+
+    def save(self, ckpt: Checkpoint) -> Path:
+        arrays = {}
+        meta: dict[str, object] = {"step": ckpt.step, "label": ckpt.label,
+                                   "cycles": ckpt.cycles, "entries": {}}
+        for name, snap in ckpt.entries.items():
+            arrays[f"{name}.c0"] = snap.data0
+            arrays[f"{name}.c1"] = snap.data1
+            arrays[f"{name}.sum0"] = snap.checksums0
+            arrays[f"{name}.sum1"] = snap.checksums1
+            meta["entries"][name] = {
+                "moduli": list(snap.moduli),
+                "domain0": snap.domain0, "domain1": snap.domain1,
+                "scale": snap.scale,
+                "budget_noise_bits": snap.budget_noise_bits,
+                "budget_sigma": snap.budget_sigma,
+                "budget_mod_bits": snap.budget_mod_bits,
+            }
+        path = self._path(ckpt.step)
+        np.savez(path, **arrays)
+        path.with_suffix(".json").write_text(json.dumps(meta))
+        return path
+
+    def steps(self) -> list[int]:
+        return sorted(
+            int(p.stem[len(self.prefix) + 1:])
+            for p in self.directory.glob(f"{self.prefix}_*.npz")
+        )
+
+    def load(self, step: int) -> Checkpoint:
+        path = self._path(step)
+        meta = json.loads(path.with_suffix(".json").read_text())
+        entries = {}
+        with np.load(path) as arrays:
+            for name, info in meta["entries"].items():
+                entries[name] = CiphertextSnapshot(
+                    moduli=tuple(info["moduli"]),
+                    data0=arrays[f"{name}.c0"],
+                    data1=arrays[f"{name}.c1"],
+                    domain0=info["domain0"], domain1=info["domain1"],
+                    scale=info["scale"],
+                    budget_noise_bits=info["budget_noise_bits"],
+                    budget_sigma=info["budget_sigma"],
+                    budget_mod_bits=info["budget_mod_bits"],
+                    checksums0=arrays[f"{name}.sum0"],
+                    checksums1=arrays[f"{name}.sum1"],
+                )
+        return Checkpoint(step=meta["step"], entries=entries,
+                          label=meta["label"], cycles=meta["cycles"])
+
+    def latest(self) -> Checkpoint | None:
+        steps = self.steps()
+        return self.load(steps[-1]) if steps else None
+
+    def drop_latest(self) -> Checkpoint | None:
+        steps = self.steps()
+        if not steps:
+            return None
+        ckpt = self.load(steps[-1])
+        self._path(steps[-1]).unlink()
+        self._path(steps[-1]).with_suffix(".json").unlink()
+        return ckpt
+
+
+# -- recovery policy and executor --------------------------------------------
+
+
+@dataclass
+class RecoveryPolicy:
+    """How a program reacts when an integrity check fires mid-run.
+
+    ``checkpoint_every``: steps between checkpoints (the granularity
+    knob: smaller means cheaper replays, more checkpoint traffic).
+    ``max_retries``: replays from checkpoints before escalating to a full
+    restart; each failed retry *discards the newest checkpoint* - if
+    replay from a checkpoint keeps faulting, the checkpoint itself is
+    suspect, so escalation walks backwards through the ring.
+    ``max_restarts``: full-program restarts (from the verified initial
+    state) before giving up with :class:`UnrecoverableFaultError`.
+    ``backoff_base_s`` / ``backoff_factor``: exponential wall-clock pause
+    before retry k sleeps ``base * factor**(k-1)`` seconds - pointless
+    for deterministic replays, essential when the fault source is a
+    flaky external resource; 0 disables (the default keeps tests fast).
+    ``verify_checkpoints``: verify every entry's seal at checkpoint time
+    (strongly recommended: an unverified checkpoint taken between a
+    corruption and its detection poisons every rollback to it).
+    """
+
+    checkpoint_every: int = 4
+    max_retries: int = 3
+    max_restarts: int = 1
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    verify_checkpoints: bool = True
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ParameterError("checkpoint_every must be >= 1",
+                                 checkpoint_every=self.checkpoint_every)
+        if self.max_retries < 0 or self.max_restarts < 0:
+            raise ParameterError("retry/restart counts must be >= 0",
+                                 max_retries=self.max_retries,
+                                 max_restarts=self.max_restarts)
+
+    def backoff_seconds(self, retry: int) -> float:
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return self.backoff_base_s * self.backoff_factor ** max(0, retry - 1)
+
+
+@dataclass
+class RecoveryStats:
+    """What resilience cost for one program run."""
+
+    steps: int = 0                # distinct steps completed
+    detections: int = 0           # FaultDetectedErrors caught
+    rollbacks: int = 0            # checkpoint restores performed
+    restarts: int = 0             # full-program restarts
+    replayed_ops: int = 0         # step executions beyond the first
+    checkpoints_taken: int = 0
+    checkpoint_words: float = 0.0
+    checkpoint_cycles: float = 0.0
+    replay_cycles: float = 0.0
+    backoff_seconds: float = 0.0
+    recovered: bool = True        # False only when the run raised
+
+    @property
+    def overhead_cycles(self) -> float:
+        return self.checkpoint_cycles + self.replay_cycles
+
+
+class RecoveringExecutor:
+    """Run named steps over named ciphertexts, recovering from faults.
+
+    ``steps`` is a list of ``(name, fn)`` pairs; each ``fn(ctx, state)``
+    mutates the ``state`` dict of ciphertexts in place (pure homomorphic
+    ops - no randomness - so replay is deterministic).  ``step_cycles``
+    optionally prices each step in simulated cycles so replay overhead
+    lands in the cycle model; ``cfg`` (a ChipConfig) prices checkpoint
+    writes the same way.
+
+    The escalation ladder on ``FaultDetectedError``:
+
+    1. roll back to the newest stored checkpoint and replay (up to
+       ``max_retries`` times, discarding the newest checkpoint after
+       each failed attempt - it may itself hold undetected corruption);
+    2. restart the whole program from the verified initial snapshot
+       (up to ``max_restarts`` times);
+    3. raise :class:`UnrecoverableFaultError` carrying the history.
+    """
+
+    def __init__(self, ctx, policy: RecoveryPolicy | None = None,
+                 store=None, cfg=None,
+                 step_cycles: list[float] | None = None):
+        self.ctx = ctx
+        self.policy = policy or RecoveryPolicy()
+        self.store = store if store is not None else RingBufferStore()
+        self.cfg = cfg
+        self.step_cycles = step_cycles
+        # Live view of the running program's state dict, for integrity
+        # boundary hooks (e.g. the RF eviction sweep) that need to see
+        # the current residents mid-keyswitch.
+        self.state: dict | None = None
+
+    def _checkpoint(self, state: dict, step: int,
+                    stats: RecoveryStats) -> Checkpoint:
+        ckpt = take_checkpoint(self.ctx, state, step,
+                               label=f"step{step}",
+                               verify=self.policy.verify_checkpoints)
+        if self.cfg is not None:
+            ckpt.cycles = checkpoint_cycles(ckpt, self.cfg)
+            stats.checkpoint_cycles += ckpt.cycles
+        stats.checkpoints_taken += 1
+        stats.checkpoint_words += ckpt.size_words()
+        obs.count("reliability.recovery.checkpoint_words",
+                  ckpt.size_words())
+        self.store.save(ckpt)
+        return ckpt
+
+    def _restore(self, ckpt: Checkpoint | None,
+                 initial: Checkpoint, stats: RecoveryStats) -> tuple:
+        """Restore the newest usable checkpoint, walking back as needed."""
+        while ckpt is not None:
+            try:
+                state = restore_checkpoint(ckpt)
+                stats.rollbacks += 1
+                obs.count("reliability.recovery.rollbacks")
+                return state, ckpt.step
+            except FaultDetectedError:
+                # The checkpoint itself is damaged: discard, walk back.
+                self.store.drop_latest()
+                ckpt = self.store.latest()
+        state = restore_checkpoint(initial)
+        stats.rollbacks += 1
+        obs.count("reliability.recovery.rollbacks")
+        return state, initial.step
+
+    def run(self, steps, state: dict) -> tuple[dict, RecoveryStats]:
+        """Execute ``steps`` over ``state``; returns (final state, stats).
+
+        ``state`` is consumed (the executor works on restored copies
+        after any rollback); the returned dict is the surviving state.
+        """
+        policy = self.policy
+        stats = RecoveryStats()
+        self.state = state
+        initial = take_checkpoint(self.ctx, state, 0, label="initial",
+                                  verify=policy.verify_checkpoints)
+        executed: set[int] = set()
+        # Retries are scoped to the faulting step: earlier steps replaying
+        # cleanly after a rollback is expected, not progress against the
+        # fault, so only repeated failures *at the same step* escalate.
+        fault_counts: dict[int, int] = {}
+        i = 0
+        total = len(steps)
+        while i <= total:
+            name = steps[i][0] if i < total else "<output-commit>"
+            try:
+                if i == total:
+                    # Output commit: the final state is about to leave the
+                    # recovery domain, so verify every entry's seal - a
+                    # fault after the last checkpoint would otherwise
+                    # escape undetected into the program's results.
+                    for entry_name, ct in state.items():
+                        self.ctx.verify_integrity(
+                            ct, f"output {entry_name!r}")
+                    break
+                fn = steps[i][1]
+                fn(self.ctx, state)
+                if i in executed:
+                    stats.replayed_ops += 1
+                    obs.count("reliability.recovery.replayed_ops")
+                    if self.step_cycles is not None:
+                        stats.replay_cycles += self.step_cycles[i]
+                else:
+                    executed.add(i)
+                    stats.steps += 1
+                i += 1
+                if i < total and i % policy.checkpoint_every == 0:
+                    self._checkpoint(state, i, stats)
+            except FaultDetectedError as err:
+                stats.detections += 1
+                obs.count("reliability.recovery.detections")
+                retries = fault_counts[i] = fault_counts.get(i, 0) + 1
+                if retries <= policy.max_retries:
+                    pause = policy.backoff_seconds(retries)
+                    if pause:
+                        stats.backoff_seconds += pause
+                        time.sleep(pause)
+                    if retries > 1:
+                        # The same step faulted again: the newest
+                        # checkpoint is suspect; fall back to an older one.
+                        self.store.drop_latest()
+                    state, i = self._restore(self.store.latest(), initial,
+                                             stats)
+                    self.state = state
+                elif stats.restarts < policy.max_restarts:
+                    stats.restarts += 1
+                    obs.count("reliability.recovery.restarts")
+                    fault_counts.clear()
+                    while self.store.drop_latest() is not None:
+                        pass
+                    state = restore_checkpoint(initial)
+                    self.state = state
+                    i = 0
+                    # Restart replays everything already executed once.
+                else:
+                    stats.recovered = False
+                    obs.count("reliability.recovery.unrecoverable")
+                    raise UnrecoverableFaultError(
+                        "fault persisted through checkpoint replays and "
+                        "full restarts",
+                        step=name, step_index=i,
+                        detections=stats.detections,
+                        restarts=stats.restarts,
+                        max_retries=policy.max_retries,
+                    ) from err
+        return state, stats
+
+
+# -- recovery-aware fault campaign -------------------------------------------
+
+
+@dataclass
+class RecoverySiteStats:
+    """Per-injection-site outcome counts for the recovery campaign."""
+
+    injected: int = 0
+    recovered: int = 0    # detected, replayed, final output bit-identical
+    aborted: int = 0      # detected but recovery exhausted every escalation
+    undetected: int = 0   # no detector fired and the final output is wrong
+    benign: int = 0       # no detector fired yet the output is still right
+    replayed_ops: int = 0  # total step re-executions across this site's trials
+
+    @property
+    def detected(self) -> int:
+        return self.recovered + self.aborted
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recovered / self.detected if self.detected else 0.0
+
+    @property
+    def mean_ops_to_recover(self) -> float:
+        return self.replayed_ops / self.recovered if self.recovered else 0.0
+
+
+@dataclass
+class RecoveryCampaignResult:
+    """What the recovery-aware campaign measured."""
+
+    seed: int
+    faults: int
+    sites: dict[str, RecoverySiteStats]
+    clean_runs: int
+    false_positives: int
+    ops_per_run: int
+    base_cycles_per_run: float     # cycle-model cost of one fault-free run
+    checkpoint_cycles: float       # total resilience cost across all trials
+    replay_cycles: float
+    total_seconds: float
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def injected(self) -> int:
+        return sum(s.injected for s in self.sites.values())
+
+    @property
+    def detected(self) -> int:
+        return sum(s.detected for s in self.sites.values())
+
+    @property
+    def recovered(self) -> int:
+        return sum(s.recovered for s in self.sites.values())
+
+    @property
+    def aborted(self) -> int:
+        return sum(s.aborted for s in self.sites.values())
+
+    @property
+    def undetected(self) -> int:
+        return sum(s.undetected for s in self.sites.values())
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recovered / self.detected if self.detected else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Resilience cycles over useful (fault-free program) cycles."""
+        useful = self.base_cycles_per_run * max(1, self.injected)
+        return (self.checkpoint_cycles + self.replay_cycles) / useful
+
+    def report(self) -> str:
+        from repro.analysis.report import format_table
+
+        rows = []
+        for site, s in self.sites.items():
+            rows.append([
+                site, s.injected, s.detected, s.recovered, s.aborted,
+                s.undetected, f"{s.recovery_rate:.1%}",
+                f"{s.mean_ops_to_recover:.1f}",
+            ])
+        table = format_table(
+            ["site", "injected", "detected", "recovered", "aborted",
+             "undetected", "rec rate", "ops/rec"],
+            rows,
+            title=f"Recovery campaign (seed={self.seed}, "
+                  f"{self.ops_per_run} ops/run)",
+        )
+        lines = [
+            table,
+            "",
+            f"totals: {self.recovered} recovered / {self.aborted} aborted / "
+            f"{self.undetected} undetected of {self.injected} injected "
+            f"({self.recovery_rate:.1%} of detected faults recovered)",
+            f"clean runs: {self.clean_runs}, "
+            f"{self.false_positives} false positives",
+            f"replay overhead: {self.replay_cycles:,.0f} cycles replayed + "
+            f"{self.checkpoint_cycles:,.0f} cycles of checkpoint traffic "
+            f"({self.overhead_fraction:.2%} of "
+            f"{self.base_cycles_per_run * max(1, self.injected):,.0f} "
+            "useful cycles)",
+            f"wall time: {self.total_seconds:.1f}s",
+        ]
+        return "\n".join(lines)
+
+
+def _campaign_steps(rot_hint, ops_per_run: int):
+    """Deterministic level-preserving program: alternate rotate and add.
+
+    Rotations hit every detector boundary (operand verify, hint load,
+    NTT checksums, the eviction sweep); adds are the quiet stretches
+    where corruption can sit undetected until the next boundary -
+    exactly the checkpoint-latency case recovery has to handle.
+    """
+    def rot(ctx, state):
+        state["acc"] = ctx.rotate(state["acc"], 1, rot_hint)
+
+    def add(ctx, state):
+        state["acc"] = ctx.add(state["acc"], state["base"])
+
+    return [(f"rot{i}" if i % 2 == 0 else f"add{i}", rot if i % 2 == 0
+             else add) for i in range(ops_per_run)]
+
+
+def _step_cycle_costs(steps, degree: int, level: int, cfg) -> list[float]:
+    """Price each campaign step with the core cycle model."""
+    from repro import ir
+    from repro.core.cost import op_cost
+
+    costs = []
+    for name, _ in steps:
+        kind = ir.ROTATE if name.startswith("rot") else ir.ADD
+        op = ir.HomOp(kind=kind, level=level, result="t",
+                      operands=("a",) if kind == ir.ROTATE else ("a", "b"),
+                      hint_id="h" if kind == ir.ROTATE else None)
+        costs.append(op_cost(cfg, op, degree).compute_cycles(cfg))
+    return costs
+
+
+def run_recovery_campaign(seed: int = 2022, faults: int = 1000,
+                          degree: int = 128, max_level: int = 4,
+                          ops_per_run: int = 8, checkpoint_every: int = 3,
+                          clean_runs: int = 8,
+                          policy: RecoveryPolicy | None = None,
+                          ) -> RecoveryCampaignResult:
+    """Inject one seeded fault per trial and measure end-to-end recovery.
+
+    Each trial runs the same ``ops_per_run``-step rotate/add program
+    under a :class:`RecoveringExecutor` with one corruption armed at a
+    random step: ``limb`` faults hit the working accumulator, ``rf``
+    faults a quiet register-file resident, ``ntt``/``hbm`` faults fire
+    inside a keyswitch.  The trial's final ciphertext is compared
+    bit-for-bit against the fault-free reference; recovered means the
+    detectors fired *and* the replayed output matches exactly.
+
+    A clean phase first proves the recovery machinery is inert on
+    uncorrupted runs (zero detections, bit-identical output, only
+    checkpoint overhead).  Everything flows from ``seed``.
+    """
+    from repro.core.config import ChipConfig
+    from repro.fhe.ckks import CkksContext, CkksParams
+    from repro.reliability import faults as _faults
+    from repro.reliability import guards
+
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    params = CkksParams(degree=degree, max_level=max_level, digits=1,
+                        secret_hamming=max(8, degree // 16), seed=seed)
+    ctx = CkksContext(params, policy=guards.ReliabilityPolicy(checksums=True))
+    sk = ctx.keygen()
+    rot_hint = ctx.rotation_hint(sk, 1)
+    cfg = ChipConfig()
+
+    own_collector = not obs.is_enabled()
+    collector = obs.enable() if own_collector else obs.active()
+    collector.meta.update({"campaign": "recovery", "seed": seed,
+                           "faults": faults, "degree": degree,
+                           "ops_per_run": ops_per_run,
+                           "checkpoint_every": checkpoint_every})
+
+    acc = ctx.encrypt_values(
+        sk, 0.5 * rng.standard_normal(params.slots))
+    base = ctx.encrypt_values(
+        sk, 0.5 * rng.standard_normal(params.slots))
+    master = take_checkpoint(ctx, {"acc": acc, "base": base}, 0,
+                             label="trial-start")
+
+    steps = _campaign_steps(rot_hint, ops_per_run)
+    step_cycles = _step_cycle_costs(steps, degree, max_level, cfg)
+    base_cycles = sum(step_cycles)
+    policy = policy or RecoveryPolicy(checkpoint_every=checkpoint_every)
+
+    def executor():
+        return RecoveringExecutor(ctx, policy, store=RingBufferStore(4),
+                                  cfg=cfg, step_cycles=step_cycles)
+
+    def evict_sweep(exe):
+        """Keyswitch boundary: verify each RF resident being displaced."""
+        def hook():
+            if exe.state is None:
+                return
+            with obs.span("reliability.rf.evict_verify", "reliability"):
+                for name, ct in exe.state.items():
+                    ctx.verify_integrity(ct, f"rf evictee {name!r}")
+        return hook
+
+    def run_once(exe, trial_steps):
+        integ = guards.IntegrityConfig(verify_hints=True, ntt_checksum=True,
+                                       boundary_hook=evict_sweep(exe))
+        with guards.integrity(integ):
+            return exe.run(trial_steps, restore_checkpoint(master))
+
+    # -- fault-free reference (and clean-phase false-positive check) --------
+    exe = executor()
+    state, ref_stats = run_once(exe, steps)
+    if ref_stats.detections:
+        raise FaultDetectedError(
+            "reference run detected faults with no injector installed")
+    reference = snapshot_ciphertext(state["acc"])
+
+    false_positives = 0
+    for _ in range(clean_runs):
+        exe = executor()
+        state, stats = run_once(exe, steps)
+        if stats.detections or not np.array_equal(
+                state["acc"].c0.data, reference.data0):
+            false_positives += 1
+            obs.count("reliability.recovery.campaign.false_positives")
+
+    # -- injection trials ---------------------------------------------------
+    sites = {site: RecoverySiteStats() for site in _faults.SITES}
+    checkpoint_cycles = replay_cycles = 0.0
+    injector = _faults.FaultInjector(seed=seed + 1)
+
+    with _faults.injecting(injector):
+        for trial in range(faults):
+            site = _faults.SITES[trial % len(_faults.SITES)]
+            stats_site = sites[site]
+            fault_step = int(rng.integers(ops_per_run))
+            if site in (_faults.NTT, _faults.HBM):
+                # Keyswitch-internal faults need a rotate to fire in.
+                fault_step -= fault_step % 2
+            corrupt_c0 = bool(rng.random() < 0.5)
+            skip = int(rng.integers(4)) if site == _faults.NTT else 0
+            fired = [False]
+
+            def with_fault(fn, _site=site, _skip=skip, _c0=corrupt_c0):
+                def wrapped(ctx_, state_):
+                    if not fired[0]:
+                        fired[0] = True
+                        if _site in (_faults.LIMB, _faults.RF):
+                            target = (state_["acc"] if _site == _faults.LIMB
+                                      else state_["base"])
+                            half = target.c0 if _c0 else target.c1
+                            injector.arm(_site)
+                            injector.maybe_corrupt(_site, half.data)
+                        else:
+                            injector.arm(_site, skip=_skip)
+                    fn(ctx_, state_)
+                return wrapped
+
+            trial_steps = list(steps)
+            name, fn = trial_steps[fault_step]
+            trial_steps[fault_step] = (name, with_fault(fn))
+
+            exe = executor()
+            aborted = False
+            injected_before = injector.injected[site]
+            try:
+                state, stats = run_once(exe, trial_steps)
+            except UnrecoverableFaultError:
+                aborted = True
+                stats = None
+            injector._armed.pop(site, None)  # unfired arms are not faults
+            if injector.injected[site] == injected_before:
+                continue  # the opportunity never arose; not an injection
+            stats_site.injected += 1
+
+            if aborted:
+                stats_site.aborted += 1
+                obs.count(f"reliability.recovery.campaign.aborted.{site}")
+                continue
+            checkpoint_cycles += stats.checkpoint_cycles
+            replay_cycles += stats.replay_cycles
+            matches = (np.array_equal(state["acc"].c0.data, reference.data0)
+                       and np.array_equal(state["acc"].c1.data,
+                                          reference.data1))
+            if stats.detections:
+                if matches:
+                    stats_site.recovered += 1
+                    stats_site.replayed_ops += stats.replayed_ops
+                    obs.count(
+                        f"reliability.recovery.campaign.recovered.{site}")
+                else:
+                    # Detected but replay converged on a wrong answer:
+                    # recovery failed even though it reported success.
+                    stats_site.aborted += 1
+                    obs.count(
+                        f"reliability.recovery.campaign.aborted.{site}")
+            elif matches:
+                stats_site.benign += 1
+            else:
+                stats_site.undetected += 1
+                obs.count(
+                    f"reliability.recovery.campaign.undetected.{site}")
+
+    counters = dict(collector.counters) if collector else {}
+    if own_collector:
+        obs.disable()
+
+    return RecoveryCampaignResult(
+        seed=seed, faults=faults, sites=sites, clean_runs=clean_runs,
+        false_positives=false_positives, ops_per_run=ops_per_run,
+        base_cycles_per_run=base_cycles,
+        checkpoint_cycles=checkpoint_cycles, replay_cycles=replay_cycles,
+        total_seconds=time.perf_counter() - t0, counters=counters,
+    )

@@ -101,7 +101,8 @@ def test_integrity_enable_disable_roundtrip():
 
 def test_ntt_recheck_detects_injected_compute_fault():
     """End to end through the NTT layer: corrupt a transform output and
-    the every-k-th re-execution check must flag it."""
+    the every-k-th re-execution check must flag it (transform checksum
+    disabled here to isolate the recheck path)."""
     from repro.fhe.ntt import NttContext
     from repro.reliability.errors import FaultDetectedError
     from repro.reliability.faults import NTT, FaultInjector, install, uninstall
@@ -113,7 +114,8 @@ def test_ntt_recheck_detects_injected_compute_fault():
     injector = FaultInjector(seed=1)
     install(injector)
     try:
-        with guards.integrity(IntegrityConfig(ntt_recheck_every=1)):
+        with guards.integrity(IntegrityConfig(ntt_checksum=False,
+                                              ntt_recheck_every=1)):
             injector.arm(NTT)
             with pytest.raises(FaultDetectedError, match="re-execution"):
                 ntt.forward(data)
@@ -124,3 +126,33 @@ def test_ntt_recheck_detects_injected_compute_fault():
     with guards.integrity(IntegrityConfig(ntt_recheck_every=1)):
         out = ntt.forward(data)
     assert np.array_equal(ntt.inverse(out), data)
+
+
+def test_ntt_transform_checksum_detects_any_single_word_fault():
+    """The O(N) end-of-op checksum is deterministic: a corrupted output
+    word in either transform direction raises, wherever it lands."""
+    from repro.fhe.ntt import NttContext
+    from repro.reliability.errors import FaultDetectedError
+    from repro.reliability.faults import NTT, FaultInjector, install, uninstall
+
+    ntt = NttContext.get(998244353, 64)
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 998244353, size=64, dtype=np.uint64)
+
+    for seed in range(8):  # varies which word/bit the injector flips
+        injector = FaultInjector(seed=seed)
+        install(injector)
+        try:
+            with guards.integrity(IntegrityConfig(ntt_checksum=True)):
+                injector.arm(NTT)
+                with pytest.raises(FaultDetectedError, match="checksum"):
+                    ntt.forward(data)
+                injector.arm(NTT)
+                with pytest.raises(FaultDetectedError, match="checksum"):
+                    ntt.inverse(ntt.forward(data))
+        finally:
+            uninstall()
+
+    # Clean transforms round-trip silently under the checksum.
+    with guards.integrity(IntegrityConfig(ntt_checksum=True)):
+        assert np.array_equal(ntt.inverse(ntt.forward(data)), data)
