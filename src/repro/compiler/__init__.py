@@ -5,13 +5,16 @@ homomorphic operations; kernels (`repro.compiler.kernels`) provide the
 building blocks every benchmark uses (BSGS matrix-vector products,
 polynomial activations, rotate-and-sum reductions); the digit scheduler
 (`repro.compiler.digits`) picks the keyswitching variant per level for a
-security target (Sec. 3.1); and the reuse pass (`repro.compiler.ordering`)
-reorders independent ops to maximize operand/hint reuse, the compiler's
-main lever on off-chip traffic.
+security target (Sec. 3.1); the hoisting pass (`repro.compiler.hoisting`)
+rewrites groups of same-source rotations into shared-ModUp form
+(Halevi-Shoup); and the reuse pass (`repro.compiler.ordering`) reorders
+independent ops to maximize operand/hint reuse, the compiler's main
+lever on off-chip traffic.
 """
 
 from repro.compiler.digits import digit_schedule
 from repro.compiler.dsl import FheBuilder, Value
+from repro.compiler.hoisting import hoist_rotations
 from repro.compiler.kernels import (
     blocked_matvec,
     matvec,
@@ -33,6 +36,7 @@ __all__ = [
     "matvec",
     "polynomial_activation",
     "rotate_accumulate",
+    "hoist_rotations",
     "order_for_reuse",
     "Placement",
     "amortized_cost_per_op",

@@ -1,0 +1,181 @@
+"""Rotation-hoisting pass: share one ModUp across same-source rotations.
+
+The dominant cost of a rotation keyswitch is raising the input's c1 into
+the extended basis (INTT + changeRNSBase + NTT).  When one ciphertext is
+rotated by many different amounts - every BSGS baby step emitted by
+`repro.compiler.kernels.matvec`, every bootstrapping transform stage in
+`repro.workloads.bootstrap` - that ModUp is identical across the group
+and can be hoisted (Halevi-Shoup; the paper's compiler applies it inside
+its keyswitch pipelines, Sec. 6).
+
+This pass detects groups of :data:`~repro.ir.ROTATE` ops that consume the
+same SSA value at the same (level, digits), and rewrites each profitable
+group into one :data:`~repro.ir.HOIST_MODUP` (inserted where the first
+group member sat, so the stream stays in dataflow order) plus
+:data:`~repro.ir.ROTATE_HOISTED` ops for the members.  The raised digits
+become an ordinary named intermediate, so the reuse scheduler
+(`repro.compiler.ordering`) keeps them register-file-resident across the
+whole group and the Belady register file sizes them correctly
+(:func:`repro.core.cost.raised_words`).
+
+Group members that share an evaluation key (bootstrapping's per-tile
+rotations, which sit inside the rotation loop exactly so hints are
+reused) are additionally *batched* into a single ROTATE_HOISTED with
+``repeat = m``: once the ModUp is hoisted out, the m hint products are
+structurally identical passes over the same raised digits, so the KSH
+generator emits each pseudorandom a-half row once and broadcasts it to
+all m members' multipliers (see :func:`repro.core.cost.op_cost`).  This
+is what makes multi-digit groups - whose per-rotation bound is the KSH
+generator, leaving plain ModUp hoisting break-even - profitable to
+hoist.  Batch members compute identical values (same source, same
+rotation amount), so dropped members' results are renamed to the
+representative's; downstream per-tile consumers are untouched and still
+charge their full per-tile work.
+
+Profitability is decided against the cost model, not assumed: a group is
+rewritten only when the hoist plus its batched rotations are strictly
+cheaper in compute cycles than the fused originals on the target config.
+Because the hoisted split is an exact complement of the fused keyswitch,
+a singleton group is exactly break-even and is therefore never rewritten
+(the pass cannot pessimize).
+
+Input rotations that are already batched (``repeat > 1``) stand for
+rotations of *different* ciphertexts sharing a hint - there is no common
+ModUp to hoist - and :data:`~repro.ir.CONJUGATE` ops are single
+automorphisms with nothing to share, so both are skipped.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ChipConfig
+from repro.core.cost import op_cost, op_latency
+from repro.ir import HOIST_MODUP, ROTATE, ROTATE_HOISTED, HomOp, Program
+from repro.obs import collector as obs
+
+_REFERENCE_CFG: ChipConfig | None = None
+
+
+def _reference_cfg() -> ChipConfig:
+    global _REFERENCE_CFG
+    if _REFERENCE_CFG is None:
+        _REFERENCE_CFG = ChipConfig()
+    return _REFERENCE_CFG
+
+
+def hoist_rotations(program: Program, cfg: ChipConfig | None = None,
+                    min_group: int = 2) -> Program:
+    """Return a new Program with profitable rotation groups hoisted.
+
+    ``cfg`` is the machine the profitability test targets (default: the
+    CraterLake configuration); ``min_group`` the smallest group size even
+    considered (the cost test already rejects singletons).
+    """
+    with obs.span("compiler.hoist_rotations", "compiler"):
+        return _hoist_rotations(program, cfg or _reference_cfg(), min_group)
+
+
+def _hoist_rotations(program: Program, cfg: ChipConfig,
+                     min_group: int) -> Program:
+    n = program.degree
+
+    # Group plain rotations by the SSA version of their source operand at
+    # the same (level, digits).  Redefinition of a name (non-SSA streams)
+    # closes its open groups: a later rotate of the new value must not
+    # share the old value's ModUp.
+    version: dict[str, int] = {}
+    groups: dict[tuple, list[int]] = {}
+    for i, op in enumerate(program.ops):
+        if op.kind == ROTATE and op.repeat == 1 and len(op.operands) == 1:
+            src = op.operands[0]
+            key = (src, version.get(src, 0), op.level, op.digits)
+            groups.setdefault(key, []).append(i)
+        version[op.result] = version.get(op.result, 0) + 1
+
+    # Decide profitability per group against the cost model.
+    replacements: dict[int, HomOp] = {}   # batch-rep index -> rotate_hoisted
+    hoists: dict[int, HomOp] = {}         # first-member index -> hoist_modup
+    dropped: dict[int, str] = {}          # merged member index -> rep result
+    hoisted_rotations = 0
+    for gidx, ((src, ver, level, digits), members) in enumerate(
+            sorted(groups.items(), key=lambda kv: kv[1][0])):
+        k = len(members)
+        if k < min_group:
+            continue
+        first = program.ops[members[0]]
+        raised = f"{src}@up{gidx}"
+        hoist_op = HomOp(kind=HOIST_MODUP, level=level, result=raised,
+                         operands=(src,), digits=digits, tag=first.tag)
+        rotate_cycles = op_cost(cfg, first, n).compute_cycles(cfg)
+        hoist_cycles = op_cost(cfg, hoist_op, n).compute_cycles(cfg)
+        # Same-hint members are the same rotation of the same source
+        # (a hint is specific to one rotation amount), so they batch
+        # into one ROTATE_HOISTED with repeat = m and the KSH generator
+        # runs once per batch instead of once per member.
+        batches: dict[tuple, list[int]] = {}
+        for idx in members:
+            member = program.ops[idx]
+            batches.setdefault((member.hint_id, member.tag), []).append(idx)
+        hoisted_total = 0.0
+        probes: dict[int, HomOp] = {}
+        for (hint, tag), batch in batches.items():
+            rep = program.ops[batch[0]]
+            probe = HomOp(kind=ROTATE_HOISTED, level=level,
+                          result=rep.result, operands=(raised, src),
+                          hint_id=hint, digits=digits, tag=tag,
+                          repeat=len(batch))
+            probes[batch[0]] = probe
+            hoisted_total += op_cost(cfg, probe, n).compute_cycles(cfg)
+        # The rewrite introduces a hoist -> rotation dependence chain the
+        # fused ops did not have; on serial machines that exposes two
+        # pipeline fills.  Charge them (and give the fused side none, a
+        # conservative comparison) so tiny groups on small rings are not
+        # pessimized for a few hundred cycles of compute savings.
+        latency = (op_latency(cfg, hoist_op, n)
+                   + op_latency(cfg, next(iter(probes.values())), n))
+        if hoist_cycles + hoisted_total + latency >= k * rotate_cycles:
+            obs.count("compiler.hoist.unprofitable_groups")
+            continue
+        hoists[members[0]] = hoist_op
+        replacements.update(probes)
+        for batch in batches.values():
+            rep_result = program.ops[batch[0]].result
+            for idx in batch[1:]:
+                dropped[idx] = rep_result
+        obs.count("compiler.hoist.hoisted_groups")
+        obs.count("compiler.hoist.modups_saved", k - 1)
+        hoisted_rotations += k
+
+    if hoisted_rotations:
+        obs.count("compiler.hoist.rotations_hoisted", hoisted_rotations)
+
+    out = Program(name=program.name, degree=program.degree,
+                  max_level=program.max_level,
+                  description=program.description)
+    ops: list[HomOp] = []
+    rename: dict[str, str] = {}
+    for i, op in enumerate(program.ops):
+        if i in hoists:
+            ops.append(hoists[i])
+        if i in dropped:
+            # Batched away: later uses of this member's result read the
+            # batch representative's (identical) value instead.
+            rename[op.result] = dropped[i]
+            continue
+        if rename and any(o in rename for o in op.operands):
+            op = replace_operands(op, rename)
+        if op.result in rename and i not in replacements:
+            del rename[op.result]  # non-SSA redefinition shadows the merge
+        ops.append(replacements.get(i, op))
+    out.ops = ops
+    return out
+
+
+def replace_operands(op: HomOp, rename: dict[str, str]) -> HomOp:
+    """Copy ``op`` with operand names substituted per ``rename``."""
+    return HomOp(
+        kind=op.kind, level=op.level, result=op.result,
+        operands=tuple(rename.get(o, o) for o in op.operands),
+        hint_id=op.hint_id, plaintext_id=op.plaintext_id,
+        digits=op.digits, tag=op.tag, compact_pt=op.compact_pt,
+        repeat=op.repeat,
+    )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 from collections import defaultdict, deque
 
-from repro.ir import HomOp, Program
+from repro.ir import HOIST_MODUP, ROTATE_HOISTED, HomOp, Program
 from repro.obs import collector as obs
 from repro.reliability.errors import ScheduleError
 
@@ -39,6 +39,17 @@ def _order_for_reuse(program: Program) -> Program:
                 indegree[i] += 1
 
     def reuse_key(op: HomOp) -> str | None:
+        # A hoist_modup keys on its result (the raised digits), so the
+        # first rotation of its group - also registered under that name
+        # below - is picked immediately after it; the group's rotations
+        # then chain on their hints as usual.  Keeping hint keying (not
+        # raised-object keying) for rotate_hoisted matters: clustering a
+        # whole group back to back would make every member's result live
+        # at once and thrash the register file, while hint-chained order
+        # interleaves each rotation with its consumers and the raised
+        # digits stay resident by Belady (their next use is always near).
+        if op.kind == HOIST_MODUP:
+            return op.result
         return op.hint_id or op.plaintext_id
 
     ready_heap: list[int] = []           # program order fallback
@@ -50,6 +61,11 @@ def _order_for_reuse(program: Program) -> Program:
         key = reuse_key(ops[i])
         if key is not None:
             ready_by_key[key].append(i)
+        # Secondary registration: a hoisted rotation is also reachable
+        # through its raised-digit operand, so a freshly scheduled
+        # hoist_modup (whose key is that object) hands off to its group.
+        if ops[i].kind == ROTATE_HOISTED:
+            ready_by_key[ops[i].operands[0]].append(i)
 
     for i, d in enumerate(indegree):
         if d == 0:

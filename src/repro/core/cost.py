@@ -26,12 +26,14 @@ from repro.core.config import CROSSBAR_TRAFFIC_FACTOR, ChipConfig
 from repro.ir import (
     ADD,
     CONJUGATE,
+    HOIST_MODUP,
     INPUT,
     MULT,
     OUTPUT,
     PMULT,
     RESCALE,
     ROTATE,
+    ROTATE_HOISTED,
     HomOp,
 )
 from repro.reliability.errors import ScheduleError
@@ -188,6 +190,113 @@ def boosted_keyswitch_cost(cfg: ChipConfig, degree: int, level: int,
     return cost
 
 
+def hoist_modup_cost(cfg: ChipConfig, degree: int, level: int,
+                     digits: int) -> OpCost:
+    """Element/word cost of the *shared* ModUp of a hoisted rotation group
+    (Halevi-Shoup hoisting; `repro.compiler.hoisting`).
+
+    Exactly the input-raising prefix of :func:`boosted_keyswitch_cost`
+    (lines 2-4 of Listing 1): INTT the L residues, CRB every digit onto
+    the L + alpha target residues, NTT the newly produced residues.  The
+    raised digits stay register-file-resident in the EVAL domain, so each
+    :data:`~repro.ir.ROTATE_HOISTED` consumer pays only the remainder
+    (:func:`hoisted_rotate_keyswitch_cost`); for one rotation the two
+    parts merge back to ``boosted_keyswitch_cost`` field by field.
+    """
+    n = degree
+    ell = level
+    cost = OpCost()
+    # Line 2: INTT of the input's L residues.
+    cost.add_fu("ntt", ell * n)
+    # Line 3 (ModUp): CRB streams each digit's residues once.
+    crb_in = ell
+    crb_macs = ell * ell
+    # Line 4: NTT the newly produced residues (L per digit).
+    cost.add_fu("ntt", digits * ell * n)
+    if cfg.crb:
+        cost.add_fu("crb", crb_in * n)
+    else:
+        cost.add_fu("mul", crb_macs * n)
+        cost.add_fu("add", crb_macs * n)
+    ntt_passes = ell + digits * ell
+    cost.network_words += ntt_passes * n
+    if not cfg.fixed_network:
+        cost.network_words *= CROSSBAR_TRAFFIC_FACTOR
+    cost.scalar_mults += crb_macs * n + ntt_passes * _ntt_scalar_mults(n)
+    cost.scalar_adds += crb_macs * n + ntt_passes * _ntt_scalar_mults(n)
+    return cost
+
+
+def hoisted_rotate_keyswitch_cost(cfg: ChipConfig, degree: int, level: int,
+                                  digits: int) -> OpCost:
+    """Per-rotation remainder of a hoisted keyswitch: hint multiply,
+    accumulate, ModDown (lines 5-10 of Listing 1).
+
+    The rotation's automorphism is *not* applied to the t(L + alpha)
+    raised rows: the evaluation key is stored/generated pre-permuted
+    (b halves permuted at rest in HBM, a halves emitted in permuted
+    order by the KSH generator - both free), the raised digits are
+    multiplied against it unpermuted, and one automorphism over the
+    accumulated output pair (charged by :func:`op_cost`'s
+    ROTATE_HOISTED branch, 2L rows - the same as an unhoisted rotate)
+    finishes the rotation.  Complementary to :func:`hoist_modup_cost`:
+    merging the two reproduces ``boosted_keyswitch_cost`` exactly, so a
+    hoisted singleton is break-even by construction.
+
+    When the hoisting pass batches same-hint rotations into one op
+    (``repeat > 1``), the KSHGen charge below is *not* scaled with the
+    batch (see :func:`op_cost`): each generated a-half row is broadcast
+    to every batch member's multipliers in the same pass, so the
+    generator runs once per hint, not once per rotation.
+    """
+    n = degree
+    ell = level
+    alpha = -(-ell // digits)
+    raised = ell + alpha
+    cost = OpCost()
+    # Lines 5-6: multiply against both hint halves and accumulate.
+    hint_rows = digits * raised
+    cost.add_fu("mul", 2 * hint_rows * n)
+    if digits > 1:
+        cost.add_fu("add", 2 * (digits - 1) * raised * n)
+    # Lines 7-9 (ModDown), for both outputs.
+    cost.add_fu("ntt", 2 * alpha * n)
+    crb_in = 2 * alpha
+    crb_macs = 2 * alpha * ell
+    cost.add_fu("ntt", 2 * ell * n)
+    # Line 10: subtract correction and scale by P^-1.
+    cost.add_fu("add", 2 * ell * n)
+    cost.add_fu("mul", 2 * ell * n)
+    if cfg.crb:
+        cost.add_fu("crb", crb_in * n)
+    else:
+        cost.add_fu("mul", crb_macs * n)
+        cost.add_fu("add", crb_macs * n)
+
+    a_half_words = hint_rows * n
+    if cfg.kshgen:
+        cost.add_fu("kshgen", a_half_words)
+        cost.kshgen_elements += a_half_words
+        cost.hint_words += a_half_words
+    else:
+        cost.hint_words += 2 * a_half_words
+
+    ntt_passes = 2 * alpha + 2 * ell
+    cost.network_words += ntt_passes * n
+    if not cfg.fixed_network:
+        cost.network_words *= CROSSBAR_TRAFFIC_FACTOR
+
+    cost.scalar_mults += (
+        crb_macs * n + (2 * hint_rows + 2 * ell) * n
+        + ntt_passes * _ntt_scalar_mults(n)
+    )
+    cost.scalar_adds += (
+        crb_macs * n + (2 * (digits - 1) * raised + 2 * ell) * n
+        + ntt_passes * _ntt_scalar_mults(n)
+    )
+    return cost
+
+
 def standard_keyswitch_cost(cfg: ChipConfig, degree: int, level: int) -> OpCost:
     """Element/word cost of one standard (per-prime, BV) keyswitch, the
     algorithm F1 is built around.
@@ -265,7 +374,14 @@ def rescale_cost(cfg: ChipConfig, degree: int, level: int) -> OpCost:
 def op_cost(cfg: ChipConfig, op: HomOp, degree: int) -> OpCost:
     """Total cost of one homomorphic op on ``cfg``: FU/port/network
     counts in *elements*, hint and network fields in *words*; convert to
-    cycles with :meth:`OpCost.compute_cycles`."""
+    cycles with :meth:`OpCost.compute_cycles`.
+
+    Batched ops (``repeat > 1``) scale every stream by the batch size
+    except the shared hint fetch - and, for ROTATE_HOISTED, the KSHGen
+    charge: same-hint hoisted rotations are batched by the hoisting
+    pass precisely so each generated a-half row is broadcast to all
+    batch members in one pass instead of being regenerated per member.
+    """
     n = degree
     ell = op.level
     cost = OpCost()
@@ -287,6 +403,20 @@ def op_cost(cfg: ChipConfig, op: HomOp, degree: int) -> OpCost:
         cost.merge(keyswitch_cost(cfg, n, ell, op.digits))
         cost.add_fu("add", ell * n)
         cost.scalar_adds += ell * n
+    elif op.kind == HOIST_MODUP:
+        cost.merge(hoist_modup_cost(cfg, n, ell, op.digits))
+    elif op.kind == ROTATE_HOISTED:
+        # Automorphism over the accumulated output pair only (the raised
+        # digits meet a pre-permuted hint; see
+        # hoisted_rotate_keyswitch_cost): 2L rows, as for a plain rotate.
+        cost.add_fu("aut", 2 * ell * n)
+        extra_net = 2 * 2 * ell * n
+        cost.network_words += (
+            extra_net * (CROSSBAR_TRAFFIC_FACTOR if not cfg.fixed_network else 1)
+        )
+        cost.merge(hoisted_rotate_keyswitch_cost(cfg, n, ell, op.digits))
+        cost.add_fu("add", ell * n)
+        cost.scalar_adds += ell * n
     elif op.kind == PMULT:
         cost.add_fu("mul", 2 * ell * n)
         cost.scalar_mults += 2 * ell * n
@@ -301,20 +431,28 @@ def op_cost(cfg: ChipConfig, op: HomOp, degree: int) -> OpCost:
         raise ScheduleError(f"no cost model for op kind {op.kind!r}")
     if op.repeat > 1:
         scale = op.repeat
-        cost.fu_elements = {k: v * scale for k, v in cost.fu_elements.items()}
+        # Hoisted batches share the generated a half (broadcast in one
+        # pass), so their KSHGen stream does not grow with the batch.
+        shared_gen = op.kind == ROTATE_HOISTED
+        cost.fu_elements = {
+            k: v * (1 if shared_gen and k == "kshgen" else scale)
+            for k, v in cost.fu_elements.items()
+        }
         cost.port_stream_elements *= scale
         cost.network_words *= scale
         cost.scalar_mults *= scale
         cost.scalar_adds *= scale
-        cost.kshgen_elements *= scale
+        if not shared_gen:
+            cost.kshgen_elements *= scale
         # hint_words intentionally NOT scaled: batched ops share one hint.
     return cost
 
 
 # Chained-pipeline depth per op kind: how many dependent FU stages a value
-# traverses (keyswitching ops run the full Listing-1 pipeline).
+# traverses (keyswitching ops run the full Listing-1 pipeline; hoisted
+# rotations split it into the ModUp prefix and the multiply/ModDown rest).
 _PIPELINE_DEPTH = {MULT: 10, ROTATE: 10, CONJUGATE: 10, PMULT: 2, ADD: 1,
-                   RESCALE: 3}
+                   RESCALE: 3, HOIST_MODUP: 4, ROTATE_HOISTED: 6}
 
 
 def op_latency(cfg: ChipConfig, op: HomOp, degree: int) -> float:
@@ -335,3 +473,12 @@ def ciphertext_words(degree: int, level: int) -> int:
 def plaintext_words(degree: int, level: int) -> int:
     """Residue *words* in a packed plaintext (1 polynomial x N x L)."""
     return degree * level
+
+
+def raised_words(degree: int, level: int, digits: int) -> int:
+    """Residue *words* in a hoisted ModUp's raised digits: t digit
+    polynomials of L + alpha residues each (alpha = ceil(L/t)), the
+    object a ``hoist_modup`` produces and its ``rotate_hoisted``
+    consumers keep register-file-resident."""
+    alpha = -(-level // digits)
+    return digits * (level + alpha) * degree

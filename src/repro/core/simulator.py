@@ -30,8 +30,9 @@ from repro.core.cost import (
     op_cost,
     op_latency,
     plaintext_words,
+    raised_words,
 )
-from repro.ir import INPUT, OUTPUT, Program
+from repro.ir import HOIST_MODUP, INPUT, OUTPUT, ROTATE_HOISTED, Program
 from repro.obs import collector as obs
 from repro.reliability.validate import validate_program
 
@@ -268,9 +269,14 @@ def simulate(program: Program, cfg: ChipConfig,
         cost = op_cost(cfg, op, n)
         totals.merge(cost)
 
-        # Operand residency.
-        for operand in op.operands:
-            words = ciphertext_words(n, op.level)
+        # Operand residency.  A rotate_hoisted's first operand is the
+        # shared raised-digit object (t digits of L + alpha residues, a
+        # hoist_modup result), not a 2-polynomial ciphertext.
+        for slot, operand in enumerate(op.operands):
+            if op.kind == ROTATE_HOISTED and slot == 0:
+                words = raised_words(n, op.level, op.digits)
+            else:
+                words = ciphertext_words(n, op.level)
             mem_words += fetch(operand, words, INTERM, True, uses[operand])
         if op.plaintext_id is not None:
             words = (2 * n if op.compact_pt
@@ -282,7 +288,10 @@ def simulate(program: Program, cfg: ChipConfig,
                                uses[op.hint_id])
         # Result allocation (produced on chip; traffic only if evicted and
         # reloaded later).
-        for _, victim in rf.insert(op.result, ciphertext_words(n, op.level),
+        result_words = (raised_words(n, op.level, op.digits)
+                        if op.kind == HOIST_MODUP
+                        else ciphertext_words(n, op.level))
+        for _, victim in rf.insert(op.result, result_words,
                                    INTERM, True, uses[op.result]):
             evicted[0] += 1
             if victim.dirty and victim.next_use != float("inf"):

@@ -23,6 +23,8 @@ import numpy as np
 from repro.fhe.ckks import Ciphertext, CkksContext
 from repro.fhe.keyswitch import KeySwitchHint, digit_bases, mod_down
 from repro.fhe.poly import COEFF, EVAL, RnsPoly
+from repro.reliability.checksums import limb_checksums, verify_limbs
+from repro.reliability.errors import ParameterError
 
 
 class HoistedRotator:
@@ -33,9 +35,23 @@ class HoistedRotator:
         rotator = HoistedRotator(ctx, ct, alpha=ctx.params.alpha)
         for steps, hint in rotation_plan:
             out = rotator.rotate(steps, hint)
+
+    When the context's reliability policy asks for checksums, the shared
+    raised digits are sealed at construction and re-verified on every
+    :meth:`rotate` - they are the hoisted equivalent of an operand
+    ciphertext, and a limb fault in them would otherwise silently poison
+    *every* rotation of the group.
     """
 
     def __init__(self, ctx: CkksContext, ct: Ciphertext, alpha: int):
+        if alpha < 1:
+            raise ParameterError("alpha must be >= 1", alpha=alpha)
+        if alpha > len(ctx.aux_basis):
+            raise ParameterError(
+                f"alpha={alpha} exceeds the special basis: "
+                f"context has {len(ctx.aux_basis)} auxiliary primes",
+                alpha=alpha,
+            )
         self.ctx = ctx
         self.ct = ct
         self.alpha = alpha
@@ -43,6 +59,8 @@ class HoistedRotator:
         aux = ctx.aux_basis[:alpha] if alpha < len(ctx.aux_basis) else ctx.aux_basis
         self.aux = aux
         self.target = q_level.extend(aux)
+        if ctx.policy.checksums:
+            ctx.verify_integrity(ct, "hoist source")
         # ModUp once: decompose c1 into digits, raise each to Q*P.
         coeff = ct.c1.to_coeff()
         self.raised_digits: list[RnsPoly] = []
@@ -52,10 +70,28 @@ class HoistedRotator:
             offset += len(digit)
             raised = RnsPoly(digit, rows, COEFF).change_basis(self.target)
             self.raised_digits.append(raised)  # kept in COEFF domain
+        # Seal carry through the hoist: checksum each raised digit once;
+        # every rotation re-verifies before consuming the shared object.
+        self.integrity: list[np.ndarray] | None = None
+        if ctx.policy.checksums:
+            self.integrity = [
+                limb_checksums(digit.data, digit.basis.moduli)
+                for digit in self.raised_digits
+            ]
+
+    def verify_integrity(self) -> None:
+        """Check the sealed raised digits; raises FaultDetectedError."""
+        if self.integrity is None:
+            return
+        for i, (digit, reference) in enumerate(
+                zip(self.raised_digits, self.integrity)):
+            verify_limbs(digit.data, digit.basis.moduli, reference,
+                         f"hoisted raised digit {i}")
 
     def rotate(self, steps: int, hint: KeySwitchHint) -> Ciphertext:
         """One rotation using the shared decomposition."""
         ctx = self.ctx
+        self.verify_integrity()
         k = ctx.rotation_exponent(steps)
         # phi_k commutes with the coefficient-wise digit split, so apply it
         # to the raised digits and proceed with the (per-rotation) NTT,
@@ -70,7 +106,7 @@ class HoistedRotator:
         ks0 = mod_down(acc0, self.ct.basis, self.aux)
         ks1 = mod_down(acc1, self.ct.basis, self.aux)
         c0 = self.ct.c0.automorphism(k)
-        return Ciphertext(c0 + ks0, ks1, self.ct.scale)
+        return ctx.seal(Ciphertext(c0 + ks0, ks1, self.ct.scale))
 
 
 def hoisted_rotations(
@@ -88,13 +124,27 @@ def hoisted_rotations(
 
 
 def hoisting_savings(level: int, digits: int, rotations: int) -> float:
-    """NTT-pass ratio: separate rotations vs hoisted (cost-model view).
+    """NTT-pass ratio: k separate rotations vs one hoisted group.
 
-    Separate: k * 6L passes.  Hoisted: (L + tL) once, then
-    k * (tL + 2*alpha + 2L) - approaching 6L/(3L+...) ~ 1.5-2x for 1-digit.
+    A fused t-digit keyswitch at level L runs ``L + tL + 2a + 2L`` NTT
+    passes (ModUp INTT + raise, then ModDown; a = ceil(L/t)).  Hoisting
+    runs the ModUp prefix ``L + tL`` once and the per-rotation remainder
+    ``2a + 2L`` k times, so the closed form this function returns is::
+
+        separate(L, t, k) = k * (L + t*L + 2*a + 2*L)
+        hoisted(L, t, k)  = (L + t*L) + k * (2*a + 2*L)
+        ratio = separate / hoisted
+
+    These counts are exactly the cost model's NTT element counts divided
+    by N (:func:`repro.core.cost.hoist_modup_cost` plus k times
+    :func:`repro.core.cost.hoisted_rotate_keyswitch_cost` against k times
+    the keyswitch inside a fused rotate), a correspondence the property
+    suite sweeps in ``tests/fhe/test_hoisting.py``.  For t = 1 the ratio
+    approaches 6L / 4L = 1.5 as k grows; at k = 1 it is exactly 1 (the
+    split is an exact complement, hoisting a singleton is break-even).
     """
     ell = level
     alpha = -(-ell // digits)
     separate = rotations * (ell + digits * ell + 2 * alpha + 2 * ell)
-    hoisted = (ell) + rotations * (digits * ell + 2 * alpha + 2 * ell)
+    hoisted = (ell + digits * ell) + rotations * (2 * alpha + 2 * ell)
     return separate / hoisted

@@ -29,9 +29,17 @@ CONJUGATE = "conjugate"  # automorphism + keyswitch (counted like rotate)
 RESCALE = "rescale"
 INPUT = "input"
 OUTPUT = "output"
+# Hoisted rotations (Halevi-Shoup, emitted by repro.compiler.hoisting):
+# HOIST_MODUP performs the shared ModUp of one ciphertext's c1 (INTT +
+# digit decompose + raise + NTT) once; each ROTATE_HOISTED consumes the
+# raised digits - operands (raised, source) - and pays only the hint
+# multiply, ModDown and output automorphism.
+HOIST_MODUP = "hoist_modup"
+ROTATE_HOISTED = "rotate_hoisted"
 
-KINDS = (MULT, PMULT, ADD, ROTATE, CONJUGATE, RESCALE, INPUT, OUTPUT)
-KEYSWITCH_KINDS = (MULT, ROTATE, CONJUGATE)
+KINDS = (MULT, PMULT, ADD, ROTATE, CONJUGATE, RESCALE, INPUT, OUTPUT,
+         HOIST_MODUP, ROTATE_HOISTED)
+KEYSWITCH_KINDS = (MULT, ROTATE, CONJUGATE, ROTATE_HOISTED)
 
 
 @dataclass
@@ -73,8 +81,14 @@ class HomOp:
             raise ScheduleError("digits must be >= 1", digits=self.digits)
         if self.repeat < 1:
             raise ScheduleError("repeat must be >= 1", repeat=self.repeat)
-        if self.repeat > 1 and self.kind in (INPUT, OUTPUT, RESCALE):
+        if self.repeat > 1 and self.kind in (INPUT, OUTPUT, RESCALE,
+                                             HOIST_MODUP):
             raise ScheduleError(f"{self.kind} ops cannot batch with repeat")
+        if self.kind == ROTATE_HOISTED and len(self.operands) != 2:
+            raise ScheduleError(
+                "rotate_hoisted takes (raised, source) operands",
+                operands=self.operands,
+            )
 
 
 @dataclass

@@ -41,7 +41,7 @@ def validate_config(cfg) -> None:
 def validate_program(program, cfg) -> None:
     """Reject a (program, config) pairing the simulator cannot honor."""
     from repro.core.cost import ciphertext_words
-    from repro.ir import INPUT, KEYSWITCH_KINDS, OUTPUT
+    from repro.ir import HOIST_MODUP, INPUT, KEYSWITCH_KINDS, OUTPUT
 
     validate_config(cfg)
 
@@ -69,7 +69,8 @@ def validate_program(program, cfg) -> None:
                 f"program's declared max {program.max_level}",
                 program=program.name, op=i,
             )
-        if op.kind in KEYSWITCH_KINDS and op.digits > op.level:
+        if (op.kind in KEYSWITCH_KINDS or op.kind == HOIST_MODUP) \
+                and op.digits > op.level:
             raise ScheduleError(
                 f"op {i} ({op.kind}) asks for {op.digits}-digit "
                 f"keyswitching at level {op.level}; digits cannot exceed "

@@ -2,8 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.config import ChipConfig
+from repro.core.cost import (
+    boosted_keyswitch_cost,
+    hoist_modup_cost,
+    hoisted_rotate_keyswitch_cost,
+)
 from repro.fhe.hoisting import HoistedRotator, hoisted_rotations, hoisting_savings
+from repro.reliability.errors import ParameterError
 
 
 def test_hoisted_rotation_matches_plain(fhe):
@@ -38,9 +47,82 @@ def test_hoisted_rotator_reuses_decomposition(fhe):
         assert np.array_equal(before, after.data)
 
 
-def test_hoisting_savings_formula():
-    # 1-digit at L=60: 6L per rotation vs (5L + 2*alpha) + amortized L.
-    ratio = hoisting_savings(60, 1, rotations=16)
-    assert 1.1 < ratio < 1.3
-    # Savings grow with the number of rotations sharing the hoist.
+_CFG = ChipConfig()
+
+
+def _ntt_passes(cost) -> float:
+    """NTT elements of one op / N = the number of full NTT passes."""
+    return cost.fu_elements.get("ntt", 0.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(level=st.integers(2, 60), digits=st.integers(1, 4),
+       rotations=st.integers(1, 64))
+def test_hoisting_savings_matches_cost_model(level, digits, rotations):
+    """The docstring's closed form IS the cost model, for swept (L, t, k).
+
+    ``hoisting_savings`` promises ``separate = k*(L + tL + 2a + 2L)`` and
+    ``hoisted = (L + tL) + k*(2a + 2L)`` NTT passes; check both against
+    the cost model's NTT element counts (per N) rather than trusting two
+    independently maintained formulas to agree at a single point.
+    """
+    digits = min(digits, level)
+    n = 1024
+    alpha = -(-level // digits)
+    fused = _ntt_passes(boosted_keyswitch_cost(_CFG, n, level, digits)) / n
+    hoist = _ntt_passes(hoist_modup_cost(_CFG, n, level, digits)) / n
+    per_rot = _ntt_passes(
+        hoisted_rotate_keyswitch_cost(_CFG, n, level, digits)) / n
+    assert fused == level + digits * level + 2 * alpha + 2 * level
+    assert hoist == level + digits * level
+    assert per_rot == 2 * alpha + 2 * level
+    separate = rotations * fused
+    hoisted = hoist + rotations * per_rot
+    assert hoisting_savings(level, digits, rotations) == pytest.approx(
+        separate / hoisted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(level=st.integers(2, 60), digits=st.integers(1, 4))
+def test_hoisted_split_is_exact_complement(level, digits):
+    """hoist_modup + hoisted remainder == fused keyswitch, field by field.
+
+    This is the k = 1 break-even property the compiler pass relies on:
+    a singleton group costs exactly the same hoisted as fused, so the
+    rewrite can never pessimize.
+    """
+    digits = min(digits, level)
+    n = 1024
+    fused = boosted_keyswitch_cost(_CFG, n, level, digits)
+    split = hoist_modup_cost(_CFG, n, level, digits)
+    split.merge(hoisted_rotate_keyswitch_cost(_CFG, n, level, digits))
+    assert split.fu_elements == fused.fu_elements
+    assert split.port_stream_elements == pytest.approx(
+        fused.port_stream_elements)
+    assert split.network_words == pytest.approx(fused.network_words)
+    assert split.scalar_mults == fused.scalar_mults
+    assert split.scalar_adds == fused.scalar_adds
+    assert split.hint_words == fused.hint_words
+    assert split.kshgen_elements == fused.kshgen_elements
+
+
+def test_hoisting_savings_growth():
+    # Savings grow with the number of rotations sharing the hoist and
+    # approach the 6L/4L = 1.5 asymptote for 1-digit keyswitching.
     assert hoisting_savings(60, 1, 32) > hoisting_savings(60, 1, 2)
+    assert hoisting_savings(60, 1, 1) == pytest.approx(1.0)
+    assert 1.4 < hoisting_savings(60, 1, 512) < 1.5
+
+
+def test_hoisted_rotator_rejects_bad_alpha(fhe):
+    ctx, sk = fhe.ctx, fhe.sk
+    ct = ctx.encrypt_values(sk, fhe.random_values(34))
+    with pytest.raises(ParameterError):
+        HoistedRotator(ctx, ct, alpha=0)
+    with pytest.raises(ParameterError):
+        HoistedRotator(ctx, ct, alpha=len(ctx.aux_basis) + 1)
+    # The full special basis is the largest *valid* alpha.
+    rotator = HoistedRotator(ctx, ct, alpha=len(ctx.aux_basis))
+    got = ctx.decrypt(sk, rotator.rotate(1, fhe.rot1))
+    want = ctx.decrypt(sk, ctx.rotate(ct, 1, fhe.rot1))
+    assert np.max(np.abs(got - want)) < 1e-3

@@ -95,3 +95,62 @@ def test_campaign_reproducible(campaign):
     for site in SITES:
         assert again.sites[site].injected == campaign.sites[site].injected
         assert again.sites[site].detected == campaign.sites[site].detected
+
+
+# -- hoisted rotations ------------------------------------------------------
+#
+# The compiler's hoisting pass makes one ModUp's raised digits a shared
+# operand of a whole rotation group, so the seal must carry through the
+# hoist: a limb fault there would otherwise poison every rotation of the
+# group while the per-ciphertext checksums stay green.
+
+@pytest.fixture(scope="module")
+def sealed_fhe():
+    from repro.fhe.ckks import CkksContext, CkksParams
+    from repro.reliability.guards import ReliabilityPolicy
+
+    ctx = CkksContext(CkksParams(degree=128, max_level=4, seed=5),
+                      policy=ReliabilityPolicy(checksums=True))
+    return ctx, ctx.keygen()
+
+
+def test_limb_fault_in_raised_digits_is_detected(sealed_fhe):
+    from repro.fhe.hoisting import HoistedRotator
+    from repro.reliability.errors import FaultDetectedError
+
+    ctx, sk = sealed_fhe
+    ct = ctx.encrypt_values(sk, [0.5, -0.25])
+    rotator = HoistedRotator(ctx, ct, alpha=ctx.params.alpha)
+    assert rotator.integrity is not None  # sealed at construction
+    hint = ctx.rotation_hint(sk, 1)
+    rotator.rotate(1, hint)  # clean: silent
+
+    injector = FaultInjector(seed=11)
+    injector.arm(LIMB)
+    assert injector.maybe_corrupt(LIMB, rotator.raised_digits[0].data)
+    with pytest.raises(FaultDetectedError, match="hoisted raised digit"):
+        rotator.rotate(1, hint)
+
+
+def test_corrupt_source_is_caught_before_hoisting(sealed_fhe):
+    from repro.fhe.hoisting import HoistedRotator
+    from repro.reliability.errors import FaultDetectedError
+
+    ctx, sk = sealed_fhe
+    ct = ctx.encrypt_values(sk, [0.125])
+    injector = FaultInjector(seed=12)
+    injector.arm(LIMB)
+    assert injector.maybe_corrupt(LIMB, ct.c1.data)
+    with pytest.raises(FaultDetectedError, match="hoist source"):
+        HoistedRotator(ctx, ct, alpha=ctx.params.alpha)
+
+
+def test_hoisted_rotation_output_is_sealed(sealed_fhe):
+    from repro.fhe.hoisting import HoistedRotator
+
+    ctx, sk = sealed_fhe
+    ct = ctx.encrypt_values(sk, [0.5, 0.5])
+    rotator = HoistedRotator(ctx, ct, alpha=ctx.params.alpha)
+    out = rotator.rotate(1, ctx.rotation_hint(sk, 1))
+    assert out.integrity is not None  # downstream ops can keep verifying
+    ctx.verify_integrity(out)
