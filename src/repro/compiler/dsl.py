@@ -66,14 +66,15 @@ class FheBuilder:
 
     def _emit(self, kind: str, level: int, operands=(), hint_id=None,
               plaintext_id=None, result_prefix: str = "v",
-              repeat: int = 1, compact_pt: bool = False) -> Value:
+              repeat: int = 1, compact_pt: bool = False,
+              steps: int | None = None) -> Value:
         result = self._fresh(result_prefix)
         self.program.append(HomOp(
             kind=kind, level=level, result=result,
             operands=tuple(o.name for o in operands),
             hint_id=hint_id, plaintext_id=plaintext_id,
             digits=self._digits(level), tag=self._tag, repeat=repeat,
-            compact_pt=compact_pt,
+            compact_pt=compact_pt, steps=steps,
         ))
         return Value(result, level)
 
@@ -131,9 +132,12 @@ class FheBuilder:
     def rotate(self, a: Value, steps: int, hint_id: str | None = None,
                repeat: int = 1) -> Value:
         """Rotate; ``repeat`` batches independent rotations sharing the
-        same hint (e.g. across the blocks of a blocked matrix product)."""
+        same hint (e.g. across the blocks of a blocked matrix product).
+        The rotation amount is carried on the op (``HomOp.steps``) - the
+        hint id is a reuse handle only and may be shared across amounts."""
         hint = hint_id if hint_id is not None else f"rot{steps}"
-        return self._emit(ROTATE, a.level, (a,), hint_id=hint, repeat=repeat)
+        return self._emit(ROTATE, a.level, (a,), hint_id=hint, repeat=repeat,
+                          steps=steps)
 
     def conjugate(self, a: Value, hint_id: str = "conj") -> Value:
         return self._emit(CONJUGATE, a.level, (a,), hint_id=hint_id)

@@ -18,7 +18,7 @@ become an ordinary named intermediate, so the reuse scheduler
 whole group and the Belady register file sizes them correctly
 (:func:`repro.core.cost.raised_words`).
 
-Group members that share an evaluation key (bootstrapping's per-tile
+Group members rotating by the *same amount* (bootstrapping's per-tile
 rotations, which sit inside the rotation loop exactly so hints are
 reused) are additionally *batched* into a single ROTATE_HOISTED with
 ``repeat = m``: once the ModUp is hoisted out, the m hint products are
@@ -27,8 +27,14 @@ generator emits each pseudorandom a-half row once and broadcasts it to
 all m members' multipliers (see :func:`repro.core.cost.op_cost`).  This
 is what makes multi-digit groups - whose per-rotation bound is the KSH
 generator, leaving plain ModUp hoisting break-even - profitable to
-hoist.  Batch members compute identical values (same source, same
-rotation amount), so dropped members' results are renamed to the
+hoist.  Batching is a value merge, so its key is the *semantic* rotation
+amount ``HomOp.steps`` (plus hint and tag): ``hint_id`` alone is only a
+reuse handle and real workloads share one hint id across different
+amounts (e.g. `repro.workloads.neural`'s ``rot{j % 8}`` pool), which
+must never be merged.  Members whose ``steps`` is unknown (``None``)
+still share the hoisted ModUp but are never batched with anything.
+Batch members compute identical values (same source, same rotation
+amount), so dropped members' results are renamed to the
 representative's; downstream per-tile consumers are untouched and still
 charge their full per-tile work.
 
@@ -107,22 +113,27 @@ def _hoist_rotations(program: Program, cfg: ChipConfig,
                          operands=(src,), digits=digits, tag=first.tag)
         rotate_cycles = op_cost(cfg, first, n).compute_cycles(cfg)
         hoist_cycles = op_cost(cfg, hoist_op, n).compute_cycles(cfg)
-        # Same-hint members are the same rotation of the same source
-        # (a hint is specific to one rotation amount), so they batch
-        # into one ROTATE_HOISTED with repeat = m and the KSH generator
-        # runs once per batch instead of once per member.
+        # Members rotating by the same amount compute the same value, so
+        # they batch into one ROTATE_HOISTED with repeat = m and the KSH
+        # generator runs once per batch instead of once per member.  The
+        # key is the explicit op.steps - hint ids are reuse handles that
+        # workloads share across different amounts, so hint equality is
+        # NOT a semantic equivalence; an op without a known amount
+        # (steps=None) is its own singleton batch.
         batches: dict[tuple, list[int]] = {}
         for idx in members:
             member = program.ops[idx]
-            batches.setdefault((member.hint_id, member.tag), []).append(idx)
+            key = ((member.steps, member.hint_id, member.tag)
+                   if member.steps is not None else ("unbatchable", idx))
+            batches.setdefault(key, []).append(idx)
         hoisted_total = 0.0
         probes: dict[int, HomOp] = {}
-        for (hint, tag), batch in batches.items():
+        for batch in batches.values():
             rep = program.ops[batch[0]]
             probe = HomOp(kind=ROTATE_HOISTED, level=level,
                           result=rep.result, operands=(raised, src),
-                          hint_id=hint, digits=digits, tag=tag,
-                          repeat=len(batch))
+                          hint_id=rep.hint_id, digits=digits, tag=rep.tag,
+                          steps=rep.steps, repeat=len(batch))
             probes[batch[0]] = probe
             hoisted_total += op_cost(cfg, probe, n).compute_cycles(cfg)
         # The rewrite introduces a hoist -> rotation dependence chain the
@@ -155,17 +166,23 @@ def _hoist_rotations(program: Program, cfg: ChipConfig,
     rename: dict[str, str] = {}
     for i, op in enumerate(program.ops):
         if i in hoists:
-            ops.append(hoists[i])
+            # The group's source name was captured at analysis time; it
+            # may itself be a dropped batch member of an earlier group,
+            # so emit with the live rename applied or the hoist would
+            # reference a name with no producer.
+            ops.append(replace_operands(hoists[i], rename)
+                       if rename else hoists[i])
         if i in dropped:
             # Batched away: later uses of this member's result read the
             # batch representative's (identical) value instead.
             rename[op.result] = dropped[i]
             continue
+        op = replacements.get(i, op)  # before renaming: probes' source
         if rename and any(o in rename for o in op.operands):
             op = replace_operands(op, rename)
-        if op.result in rename and i not in replacements:
+        if op.result in rename:
             del rename[op.result]  # non-SSA redefinition shadows the merge
-        ops.append(replacements.get(i, op))
+        ops.append(op)
     out.ops = ops
     return out
 
@@ -177,5 +194,5 @@ def replace_operands(op: HomOp, rename: dict[str, str]) -> HomOp:
         operands=tuple(rename.get(o, o) for o in op.operands),
         hint_id=op.hint_id, plaintext_id=op.plaintext_id,
         digits=op.digits, tag=op.tag, compact_pt=op.compact_pt,
-        repeat=op.repeat,
+        steps=op.steps, repeat=op.repeat,
     )

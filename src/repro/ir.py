@@ -57,6 +57,14 @@ class HomOp:
     operands: tuple[str, ...] = ()
     hint_id: str | None = None
     plaintext_id: str | None = None
+    # Rotation amount (slot shift) for ROTATE / ROTATE_HOISTED ops.  This
+    # is semantic, not a cost knob: ``hint_id`` is only a *reuse handle*
+    # for keyswitch-hint traffic accounting and may legitimately be shared
+    # by rotations of different amounts (e.g. a workload cycling a small
+    # pool of hint slots), so passes must never infer the amount from it.
+    # ``None`` means unknown; value-merging optimizations must then treat
+    # the op as unique.
+    steps: int | None = None
     digits: int = 1
     tag: str = ""  # phase label for reporting (e.g. "bootstrap", "conv3")
     # Compact plaintext: small-coefficient multiplicands (bootstrap matrix
@@ -84,6 +92,12 @@ class HomOp:
         if self.repeat > 1 and self.kind in (INPUT, OUTPUT, RESCALE,
                                              HOIST_MODUP):
             raise ScheduleError(f"{self.kind} ops cannot batch with repeat")
+        if self.steps is not None and self.kind not in (ROTATE,
+                                                        ROTATE_HOISTED):
+            raise ScheduleError(
+                f"steps only applies to rotations, not {self.kind}",
+                steps=self.steps,
+            )
         if self.kind == ROTATE_HOISTED and len(self.operands) != 2:
             raise ScheduleError(
                 "rotate_hoisted takes (raised, source) operands",

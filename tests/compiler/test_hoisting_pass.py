@@ -47,13 +47,18 @@ def _hint(fhe, steps: int):
     return _HINTS[steps]
 
 
-def _build_program(groups: list[list[int]]) -> Program:
+def _build_program(groups: list[list[int]], hint_pool: int = 0) -> Program:
     """A program rotating one (or a derived second) source by each step.
 
     ``groups`` is a list of step lists; group 0 rotates the input, group
     i > 0 rotates a fresh value derived by i doublings, so the pass sees
     several distinct hoisting groups.  All rotation results fold into one
-    output through an add chain.
+    output through an add chain.  ``hint_pool`` > 0 draws hint ids from a
+    shared pool of that many names (``pool{steps % hint_pool}``) - the
+    real-workload pattern where one hint id is reused across *different*
+    rotation amounts (`repro.workloads.neural`'s ``rot{j % 8}``) - so the
+    differential suite exercises programs where hint equality does NOT
+    imply value equality; 0 keeps the DSL's per-amount default names.
 
     Cost metadata (degree 65536, level 57) is paper-scale so the
     profitability gate operates in its real regime - on tiny rings the
@@ -70,7 +75,8 @@ def _build_program(groups: list[list[int]]) -> Program:
         for _ in range(gi):
             src = b.add(src, src)
         for steps in steps_list:
-            r = b.rotate(src, steps)
+            hint = f"pool{steps % hint_pool}" if hint_pool else None
+            r = b.rotate(src, steps, hint_id=hint)
             acc = r if acc is None else b.add(acc, r)
     b.output(acc if acc is not None else x)
     return b.build()
@@ -78,8 +84,10 @@ def _build_program(groups: list[list[int]]) -> Program:
 
 def _execute(program: Program, fhe, ct) -> list[np.ndarray]:
     """Interpret a Program against the CKKS layer; returns decrypted
-    outputs.  Rotation amounts are parsed from the DSL's default
-    ``rot{steps}`` hint names."""
+    outputs.  Rotation amounts come from the explicit ``op.steps`` field,
+    never from hint names: hint ids are reuse handles that workloads
+    share across different amounts, so parsing them would make the
+    harness blind to exactly the miscompilation it exists to catch."""
     ctx, sk = fhe.ctx, fhe.sk
     env: dict[str, object] = {}
     rotators: dict[str, HoistedRotator] = {}
@@ -90,16 +98,16 @@ def _execute(program: Program, fhe, ct) -> list[np.ndarray]:
         elif op.kind == ADD:
             env[op.result] = ctx.add(env[op.operands[0]], env[op.operands[1]])
         elif op.kind == ROTATE:
-            steps = int(op.hint_id.removeprefix("rot"))
-            env[op.result] = ctx.rotate(env[op.operands[0]], steps,
-                                        _hint(fhe, steps))
+            assert op.steps is not None, f"rotate {op.result} lost its steps"
+            env[op.result] = ctx.rotate(env[op.operands[0]], op.steps,
+                                        _hint(fhe, op.steps))
         elif op.kind == HOIST_MODUP:
             rotators[op.result] = HoistedRotator(
                 ctx, env[op.operands[0]], alpha=ctx.params.alpha)
         elif op.kind == ROTATE_HOISTED:
-            steps = int(op.hint_id.removeprefix("rot"))
+            assert op.steps is not None, f"rotate {op.result} lost its steps"
             env[op.result] = rotators[op.operands[0]].rotate(
-                steps, _hint(fhe, steps))
+                op.steps, _hint(fhe, op.steps))
         elif op.kind == OUTPUT:
             outputs.append(ctx.decrypt(sk, env[op.operands[0]]))
         else:  # pragma: no cover - generator only emits the kinds above
@@ -111,9 +119,10 @@ def _execute(program: Program, fhe, ct) -> list[np.ndarray]:
 @given(groups=st.lists(
     st.lists(st.integers(1, 3), min_size=1, max_size=6),
     min_size=1, max_size=2,
-))
-def test_hoisted_program_is_bit_exact_and_never_slower(fhe, groups):
-    program = _build_program(groups)
+), hint_pool=st.integers(0, 2))
+def test_hoisted_program_is_bit_exact_and_never_slower(fhe, groups,
+                                                       hint_pool):
+    program = _build_program(groups, hint_pool=hint_pool)
     hoisted = hoist_rotations(program, _CFG)
     validate_program(hoisted, _CFG)
     if sum(len(g) >= 2 for g in groups):
@@ -168,6 +177,96 @@ def test_same_hint_members_batch_into_one_op():
     for op in hoisted.ops:
         for operand in op.operands:
             assert operand in produced, f"dangling operand {operand}"
+
+
+def test_shared_hint_across_amounts_is_not_merged(fhe):
+    # Real workloads cycle a small pool of hint slots across *different*
+    # rotation amounts: `repro.workloads.neural`'s lola_mnist_ew dense1
+    # layer rotates one source by j+1 under 8 shared "rot{j % 8}" hints.
+    # A hint id is a reuse handle, not a semantic equivalence - batching
+    # on it alone would rewire consumers to the wrong rotation and book
+    # the deleted rotations as "savings".  The pass must hoist the group
+    # while keeping every distinct amount a separate rotate_hoisted.
+    b = FheBuilder("shared-hints", degree=65536, max_level=60)
+    x = b.input("x", 57)
+    acc = None
+    for j in range(12):
+        r = b.rotate(x, j + 1, hint_id=f"rot{j % 4}")
+        acc = r if acc is None else b.add(acc, r)
+    b.output(acc)
+    program = b.build()
+
+    hoisted = hoist_rotations(program, _CFG)
+    validate_program(hoisted, _CFG)
+    assert any(op.kind == HOIST_MODUP for op in hoisted.ops)
+    probes = [op for op in hoisted.ops if op.kind == ROTATE_HOISTED]
+    # Twelve distinct amounts -> twelve probes, none batched away, with
+    # the multiset of amounts preserved exactly.
+    assert sorted(p.steps for p in probes) == list(range(1, 13))
+    assert all(p.repeat == 1 for p in probes)
+
+    ct = fhe.ctx.encrypt_values(fhe.sk, fhe.random_values(31))
+    want = _execute(program, fhe, ct)
+    got = _execute(hoisted, fhe, ct)
+    assert len(got) == len(want)
+    for w, g in zip(want, got):
+        assert np.array_equal(w, g)
+
+
+def test_unknown_amounts_never_batch():
+    # Hand-built streams may omit HomOp.steps; without a known amount
+    # there is no basis for a value merge, even under one shared hint.
+    # The ModUp is still shared (that part is amount-independent).
+    from repro.ir import HomOp
+
+    program = Program(name="nosteps", degree=65536, max_level=60)
+    program.append(HomOp(kind=INPUT, level=57, result="x"))
+    for i in range(6):
+        program.append(HomOp(kind=ROTATE, level=57, result=f"r{i}",
+                             operands=("x",), hint_id="shared"))
+    program.append(HomOp(kind=OUTPUT, level=57, result="out",
+                         operands=("r5",)))
+    hoisted = hoist_rotations(program, _CFG)
+    validate_program(hoisted, _CFG)
+    probes = [op for op in hoisted.ops if op.kind == ROTATE_HOISTED]
+    assert len(probes) == 6
+    assert all(p.repeat == 1 for p in probes)
+    produced = {op.result for op in hoisted.ops}
+    assert {f"r{i}" for i in range(6)} <= produced
+
+
+def test_dropped_member_as_later_group_source_is_renamed(fhe):
+    # A batch-dropped rotation's result can itself be the source of a
+    # later hoisting group.  The later group's hoist_modup and probes
+    # capture operand names at analysis time, so they must be emitted
+    # through the live rename map - otherwise the output program
+    # references a name nothing produces and the scheduler silently
+    # treats it as an external input.
+    b = FheBuilder("chained", degree=65536, max_level=60)
+    x = b.input("x", 57)
+    r0 = b.rotate(x, 1)
+    r1 = b.rotate(x, 1)  # same amount: batches with r0, r1 is dropped
+    acc = b.add(r0, r1)
+    for steps in (1, 2, 3):
+        acc = b.add(acc, b.rotate(r1, steps))
+    b.output(acc)
+    program = b.build()
+
+    hoisted = hoist_rotations(program, _CFG)
+    validate_program(hoisted, _CFG)  # rejects operands with no producer
+    assert sum(op.kind == HOIST_MODUP for op in hoisted.ops) == 2
+    produced = {op.result for op in hoisted.ops}
+    for op in hoisted.ops:
+        if op.kind != INPUT:
+            for operand in op.operands:
+                assert operand in produced, f"dangling operand {operand}"
+
+    ct = fhe.ctx.encrypt_values(fhe.sk, fhe.random_values(13))
+    want = _execute(program, fhe, ct)
+    got = _execute(hoisted, fhe, ct)
+    assert len(got) == len(want)
+    for w, g in zip(want, got):
+        assert np.array_equal(w, g)
 
 
 def test_version_tracking_separates_redefined_sources():
