@@ -1,0 +1,80 @@
+"""Eviction/traffic regression table for the memory-aware scheduler.
+
+Not a paper table: this is the nightly artifact for the
+register-pressure scheduling pass (`repro.compiler.ordering`) and the
+simulator's dead-dropping + lookahead orchestration.  For each deep
+benchmark it walks the compile pipeline - program order, hoisted,
+hoisted + pressure-scheduled - and reports critical-path cycles, Belady
+evictions, dead drops, writeback traffic and exposed stall cycles, plus
+the prefetch hits a depth-2 lookahead window achieves at neutral cost.
+The ROADMAP's "~1.9k evictions on packed_bootstrap" open item is pinned
+here: regressions show up as the evictions column climbing back toward
+the seed.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.compiler import hoist_rotations, order_for_pressure
+from repro.core import simulate
+from repro.workloads import DEEP_BENCHMARKS
+
+# Traced seed values (plain program order, no dead-dropping) recorded
+# when the ROADMAP item was opened; the acceptance bar is >= 30% under
+# the eviction seed on packed_bootstrap.
+SEED_EVICTIONS = {"packed_bootstrap": 1926}
+
+
+def _compare(runs):
+    table = {}
+    for name in DEEP_BENCHMARKS:
+        program = runs.program(name)
+        hoisted = hoist_rotations(program, runs.craterlake)
+        final = order_for_pressure(hoisted, runs.craterlake)
+        stages = {
+            "program order": runs.run(name),
+            "hoisted": simulate(hoisted, runs.craterlake),
+            "hoisted+pressure": simulate(final, runs.craterlake),
+        }
+        pf2 = simulate(final, runs.craterlake.with_prefetch_depth(2))
+        table[name] = (stages, pf2)
+    return table
+
+
+def test_scheduler_comparison(benchmark, runs):
+    results = benchmark.pedantic(_compare, args=(runs,), rounds=1,
+                                 iterations=1)
+    rows = []
+    for name, (stages, pf2) in results.items():
+        for label, r in stages.items():
+            rows.append([
+                name, label, f"{r.cycles:,.0f}", r.rf_evictions,
+                r.dead_drops, f"{r.traffic_words['interm_store']:,.0f}",
+                f"{r.stall_cycles:,.0f}",
+                pf2.prefetch_hits if label == "hoisted+pressure" else "",
+            ])
+    emit("scheduler_comparison", format_table(
+        ["benchmark", "schedule", "cycles", "evictions", "dead drops",
+         "interm store (words)", "stall cycles", "pf2 hits"],
+        rows, title="Memory-aware scheduling: evictions, traffic, stalls",
+    ))
+
+    for name, (stages, pf2) in results.items():
+        base = stages["program order"]
+        hoisted = stages["hoisted"]
+        final = stages["hoisted+pressure"]
+        # The pressure pass is simulator-gated: never worse than its
+        # input in cycles or writeback traffic, on any workload.
+        assert final.cycles <= hoisted.cycles, name
+        assert (final.traffic_words["interm_store"]
+                <= hoisted.traffic_words["interm_store"]), name
+        # Dead-dropping means dead values stop surfacing as victims.
+        assert final.dead_drops > 0, name
+        assert final.rf_evictions <= base.rf_evictions, name
+        # Depth-2 lookahead is cycle-neutral and observably prefetching.
+        assert pf2.cycles == final.cycles, name
+        assert pf2.prefetch_hits > 0, name
+    # The acceptance bar: >= 30% under the traced seed on the ROADMAP's
+    # flagged workload (dead-dropping alone lands far below it).
+    final_pb = results["packed_bootstrap"][0]["hoisted+pressure"]
+    assert final_pb.rf_evictions <= SEED_EVICTIONS["packed_bootstrap"] * 0.7

@@ -7,9 +7,10 @@ polynomial activations, rotate-and-sum reductions); the digit scheduler
 (`repro.compiler.digits`) picks the keyswitching variant per level for a
 security target (Sec. 3.1); the hoisting pass (`repro.compiler.hoisting`)
 rewrites groups of same-source rotations into shared-ModUp form
-(Halevi-Shoup); and the reuse pass (`repro.compiler.ordering`) reorders
-independent ops to maximize operand/hint reuse, the compiler's main
-lever on off-chip traffic.
+(Halevi-Shoup); and the ordering passes (`repro.compiler.ordering`) reorder
+independent ops: `order_for_reuse` maximizes operand/hint reuse and
+`order_for_pressure` adds a register-pressure-aware, simulator-gated
+refinement - together the compiler's main lever on off-chip traffic.
 """
 
 from repro.compiler.digits import digit_schedule
@@ -21,7 +22,7 @@ from repro.compiler.kernels import (
     polynomial_activation,
     rotate_accumulate,
 )
-from repro.compiler.ordering import order_for_reuse
+from repro.compiler.ordering import order_for_pressure, order_for_reuse
 from repro.compiler.placement import (
     Placement,
     amortized_cost_per_op,
@@ -37,6 +38,7 @@ __all__ = [
     "polynomial_activation",
     "rotate_accumulate",
     "hoist_rotations",
+    "order_for_pressure",
     "order_for_reuse",
     "Placement",
     "amortized_cost_per_op",

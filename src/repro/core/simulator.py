@@ -8,15 +8,25 @@ modeling
   (`repro.core.cost`);
 * the single-level register file as a Belady-MIN-managed store of
   ciphertexts, plaintexts and keyswitch hints - the compiler's eviction
-  policy (Sec. 6);
+  policy (Sec. 6) - with *free-on-last-use* dead-dropping: a resident
+  whose next use is the ``inf`` sentinel is released the moment its last
+  consumer issues, so dead values never occupy capacity or surface as
+  Belady victims;
 * HBM as a bandwidth-limited stream, overlapped with compute through
-  decoupled data orchestration: memory for op i+1 proceeds while op i
-  computes, which is the two-clock recurrence below.
+  decoupled data orchestration: a lookahead prefetcher streams operands
+  for up to ``ChipConfig.prefetch_depth`` ops ahead of the compute head,
+  reserving them in the register file under their Belady next-use.
+  Depth 1 is the classic recurrence (memory for op i streams when the
+  compute head reaches it, overlapping op i-1's compute); deeper windows
+  hide operand streams behind earlier ops' compute.
 
 Outputs match what the paper's evaluation reports: execution time, FU and
 bandwidth utilization (Fig. 9), off-chip traffic split into KSH / inputs /
 intermediate loads / stores (Fig. 10a), and activity counts the energy
-model converts into the Fig. 10b power breakdown.
+model converts into the Fig. 10b power breakdown.  Scheduling-quality
+observables (Belady evictions, dead drops, prefetch hits, and the
+stall-cause split) land both on :class:`SimResult` and, when tracing is
+enabled, as ``sim.*`` counters (see docs/TRACING.md).
 """
 
 from __future__ import annotations
@@ -41,6 +51,8 @@ KSH = "ksh"
 INPUTS = "inputs"
 INTERM = "interm"
 
+_INF = float("inf")
+
 
 @dataclass
 class SimResult:
@@ -63,6 +75,16 @@ class SimResult:
     port_stream_elements: float = 0.0
     rf_capacity_words: int = 0
     peak_resident_words: float = 0.0
+    # Scheduling-quality observables (also emitted as sim.* counters when
+    # tracing is on; carried here so gates and regression tables need no
+    # collector).
+    rf_evictions: int = 0          # Belady victims displaced under pressure
+    dead_drops: int = 0            # residents released on their last use
+    prefetch_hits: int = 0         # operand fetches already streamed ahead
+    stall_cycles: float = 0.0      # compute cycles lost waiting on memory
+    prefetch_window_stall_cycles: float = 0.0  # stall share a deeper
+    #                                window could have hidden (operand
+    #                                streams issued only at the head)
 
     @property
     def seconds(self) -> float:
@@ -135,14 +157,21 @@ class _RegisterFile:
         self.peak = max(self.peak, self.used)
         return evicted
 
-    def drop(self, obj: str) -> None:
+    def drop(self, obj: str) -> _Resident | None:
         record = self.objects.pop(obj, None)
         if record is not None:
             self.used -= record.words
+        return record
 
 
-def _next_use_table(program: Program) -> list[dict[str, int]]:
-    """next_use[i][obj] = first op index > i that touches obj (else inf)."""
+def _next_use_table(program: Program) -> list[dict[str, float]]:
+    """``table[i][obj]`` = first op index > i that touches obj.
+
+    Values are op indices widened to float because ``inf`` is the
+    "never used again" sentinel: the register file's Belady policy sorts
+    victims by next use (``inf`` first), and the simulator's dead-drop
+    sweep releases any resident whose entry is ``inf`` at its last use.
+    """
     last: dict[str, float] = {}
     table: list[dict[str, float]] = [dict() for _ in program.ops]
     for i in range(len(program.ops) - 1, -1, -1):
@@ -155,11 +184,38 @@ def _next_use_table(program: Program) -> list[dict[str, int]]:
         touched.append(op.result)
         entry = {}
         for obj in touched:
-            entry[obj] = last.get(obj, float("inf"))
+            entry[obj] = last.get(obj, _INF)
         table[i] = entry
         for obj in touched:
             last[obj] = i
     return table
+
+
+def _fetch_plan(op, cost: OpCost | None, n: int) -> list[tuple[str, float, str]]:
+    """Memory objects op needs resident before compute: (obj, words,
+    category) triples in stream order.  INPUT ops fetch their own result
+    (client data arriving from memory); OUTPUT ops fetch nothing."""
+    if op.kind == OUTPUT:
+        return []
+    if op.kind == INPUT:
+        return [(op.result, ciphertext_words(n, op.level), INPUTS)]
+    plan = []
+    # A rotate_hoisted's first operand is the shared raised-digit object
+    # (t digits of L + alpha residues, a hoist_modup result), not a
+    # 2-polynomial ciphertext.
+    for slot, operand in enumerate(op.operands):
+        if op.kind == ROTATE_HOISTED and slot == 0:
+            words = raised_words(n, op.level, op.digits)
+        else:
+            words = ciphertext_words(n, op.level)
+        plan.append((operand, words, INTERM))
+    if op.plaintext_id is not None:
+        words = (2 * n if op.compact_pt
+                 else plaintext_words(n, op.level)) * op.repeat
+        plan.append((op.plaintext_id, words, INPUTS))
+    if op.hint_id is not None and cost is not None and cost.hint_words:
+        plan.append((op.hint_id, cost.hint_words, KSH))
+    return plan
 
 
 def simulate(program: Program, cfg: ChipConfig,
@@ -177,8 +233,15 @@ def simulate(program: Program, cfg: ChipConfig,
     """
     validate_program(program, cfg)
     n = program.degree
+    ops = program.ops
+    n_ops = len(ops)
+    depth = cfg.prefetch_depth
     rf = _RegisterFile(cfg.register_file_words)
     next_use = _next_use_table(program)
+    # Where each value is materialized on chip; INPUT results live in
+    # memory from the start (client data), so they are prefetchable.
+    producer = {op.result: i for i, op in enumerate(ops)
+                if op.kind not in (INPUT, OUTPUT)}
 
     fu_busy: dict[str, float] = {}
     prev_result: str | None = None
@@ -191,16 +254,35 @@ def simulate(program: Program, cfg: ChipConfig,
     comp_clock = 0.0
     words_per_cycle = cfg.hbm_words_per_cycle
 
-    # Per-op Belady victim count, for the observability layer; fetch() and
-    # the result-allocation loop increment it, the op loop resets it.
-    evicted = [0]
+    # Per-op costs and fetch plans, precomputed so the prefetcher can
+    # stream a future op's operands before the compute head reaches it.
+    costs = [op_cost(cfg, op, n) if op.kind not in (INPUT, OUTPUT) else None
+             for op in ops]
+    plans = [_fetch_plan(op, costs[i], n) for i, op in enumerate(ops)]
+    issued = [False] * n_ops       # op's fetch plan already streamed
+    ready_at = [0.0] * n_ops       # mem clock when the op's stream was done
+    prefetched: set[str] = set()   # residents brought in ahead of their op
 
-    def fetch(obj: str, words: float, category: str, dirty: bool,
-              uses_at: float) -> float:
-        """Ensure obj is resident; return words moved from memory."""
+    # Per-op observability accumulators; fetch paths increment them, the
+    # head loop resets them per op and folds them into the run totals.
+    evicted = [0]
+    dead_drops = [0]
+    hits = [0]
+    total_evictions = 0
+    total_dead_drops = 0
+    total_hits = 0
+    total_stall = 0.0
+    total_window_stall = 0.0
+
+    def fetch(obj: str, words: float, category: str, uses_at: float) -> float:
+        """Ensure obj is resident for the compute head; return words moved
+        from memory (0 when already resident, e.g. reuse or prefetch)."""
         record = rf.lookup(obj)
         if record is not None:
             record.next_use = uses_at
+            if obj in prefetched:
+                prefetched.discard(obj)
+                hits[0] += 1
             return 0.0
         moved = words
         if category == KSH:
@@ -209,12 +291,50 @@ def simulate(program: Program, cfg: ChipConfig,
             traffic[INPUTS] += words
         else:
             traffic["interm_load"] += words
-        for _, victim in rf.insert(obj, words, category, dirty, uses_at):
+        dirty = category == INTERM
+        for victim, vrec in rf.insert(obj, words, category, dirty, uses_at):
+            prefetched.discard(victim)
             evicted[0] += 1
-            if victim.dirty and victim.next_use != float("inf"):
-                traffic["interm_store"] += victim.words
-                moved += victim.words
+            if vrec.dirty and vrec.next_use != _INF:
+                traffic["interm_store"] += vrec.words
+                moved += vrec.words
         return moved
+
+    def prefetch(obj: str, words: float, category: str, target: int) -> float:
+        """Stream obj ahead of its op; reserved under Belady next-use
+        ``target`` (the op that will consume it).  Returns words moved.
+
+        Prefetch claims only free capacity - it never evicts a resident.
+        Displacing data the compute head still needs for data a *future*
+        op needs is how lookahead turns into thrash (fetch, lose, fetch
+        again); under pressure the window simply stops growing and the
+        head fetches at its own turn, exactly as at depth 1."""
+        record = rf.lookup(obj)
+        if record is not None:
+            # Already resident (reuse, or an earlier window op fetched
+            # it); keep the nearest use so Belady never under-protects it.
+            record.next_use = min(record.next_use, target)
+            return 0.0
+        if rf.used + words > rf.capacity:
+            return 0.0
+        prefetched.add(obj)
+        return fetch(obj, words, category, target)
+
+    def dead_sweep(op, uses: dict[str, float]) -> None:
+        """Free-on-last-use: release residents this op touched whose next
+        use is the ``inf`` sentinel, so dead values stop occupying
+        capacity and forcing Belady evictions."""
+        touched = list(op.operands)
+        if op.hint_id:
+            touched.append(op.hint_id)
+        if op.plaintext_id:
+            touched.append(op.plaintext_id)
+        touched.append(op.result)
+        for obj in touched:
+            record = rf.lookup(obj)
+            if record is not None and record.next_use == _INF:
+                rf.drop(obj)
+                dead_drops[0] += 1
 
     tr = obs.active()
 
@@ -237,71 +357,99 @@ def simulate(program: Program, cfg: ChipConfig,
         tr.count(f"sim.ops.{op.kind}")
         if evicted[0]:
             tr.count("sim.rf_evictions", evicted[0])
+        if dead_drops[0]:
+            tr.count("sim.dead_drops", dead_drops[0])
+        if hits[0]:
+            tr.count("sim.prefetch_hits", hits[0])
 
-    for i, op in enumerate(program.ops):
+    for i, op in enumerate(ops):
         uses = next_use[i]
         mem_words = 0.0
         evicted[0] = 0
+        dead_drops[0] = 0
+        hits[0] = 0
         crit_before = max(comp_clock, mem_clock)
         mem_before = mem_clock
 
-        if op.kind == INPUT:
-            # Client/weight data arriving from memory on first touch.
-            words = ciphertext_words(n, op.level)
-            mem_words += fetch(op.result, words, INPUTS, False,
-                               uses.get(op.result, float("inf")))
-            mem_clock += mem_words / words_per_cycle
-            if tr is not None:
-                record(op, i, crit_before, mem_before, comp_clock, 0.0,
-                       0.0, mem_words)
-            continue
         if op.kind == OUTPUT:
             words = ciphertext_words(n, op.level)
             traffic["interm_store"] += words
             mem_clock += words / words_per_cycle
             for operand in op.operands:
-                rf.drop(operand)
+                rec = rf.lookup(operand)
+                if rec is None:
+                    continue
+                # The store leaves the value backed by memory: the RF copy
+                # stays valid but clean (a later eviction needs no second
+                # writeback), and it is released outright on its last use.
+                rec.dirty = False
+                rec.next_use = uses.get(operand, _INF)
+                if rec.next_use == _INF:
+                    rf.drop(operand)
+                    dead_drops[0] += 1
+            # The stored object's own record: hand-built (non-SSA) streams
+            # may reuse the output name for a resident value, which would
+            # otherwise linger dead in the RF.
+            if op.result not in op.operands and rf.drop(op.result) is not None:
+                dead_drops[0] += 1
+            total_dead_drops += dead_drops[0]
             if tr is not None:
                 record(op, i, crit_before, mem_before, comp_clock, 0.0,
                        0.0, words)
             continue
 
-        cost = op_cost(cfg, op, n)
+        # Operand residency: stream this op's remaining fetches (all of
+        # them at depth 1; at deeper windows most were prefetched and
+        # count as hits, and only prefetch victims are re-fetched here).
+        for obj, words, category in plans[i]:
+            mem_words += fetch(obj, words, category, uses.get(obj, _INF))
+        issued[i] = True
+        fetch_cycles = mem_words / words_per_cycle
+        own_cycles = fetch_cycles
+
+        if op.kind == INPUT:
+            mem_clock += own_cycles
+            dead_sweep(op, uses)
+            total_evictions += evicted[0]
+            total_dead_drops += dead_drops[0]
+            total_hits += hits[0]
+            if tr is not None:
+                record(op, i, crit_before, mem_before, comp_clock, 0.0,
+                       0.0, mem_words)
+            continue
+
+        cost = costs[i]
         totals.merge(cost)
 
-        # Operand residency.  A rotate_hoisted's first operand is the
-        # shared raised-digit object (t digits of L + alpha residues, a
-        # hoist_modup result), not a 2-polynomial ciphertext.
-        for slot, operand in enumerate(op.operands):
-            if op.kind == ROTATE_HOISTED and slot == 0:
-                words = raised_words(n, op.level, op.digits)
-            else:
-                words = ciphertext_words(n, op.level)
-            mem_words += fetch(operand, words, INTERM, True, uses[operand])
-        if op.plaintext_id is not None:
-            words = (2 * n if op.compact_pt
-                     else plaintext_words(n, op.level)) * op.repeat
-            mem_words += fetch(op.plaintext_id, words, INPUTS, False,
-                               uses[op.plaintext_id])
-        if op.hint_id is not None and cost.hint_words:
-            mem_words += fetch(op.hint_id, cost.hint_words, KSH, False,
-                               uses[op.hint_id])
         # Result allocation (produced on chip; traffic only if evicted and
         # reloaded later).
         result_words = (raised_words(n, op.level, op.digits)
                         if op.kind == HOIST_MODUP
                         else ciphertext_words(n, op.level))
-        for _, victim in rf.insert(op.result, result_words,
-                                   INTERM, True, uses[op.result]):
+        for victim, vrec in rf.insert(op.result, result_words,
+                                      INTERM, True, uses[op.result]):
+            prefetched.discard(victim)
             evicted[0] += 1
-            if victim.dirty and victim.next_use != float("inf"):
-                traffic["interm_store"] += victim.words
-                mem_words += victim.words
+            if vrec.dirty and vrec.next_use != _INF:
+                traffic["interm_store"] += vrec.words
+                mem_words += vrec.words
+                own_cycles += vrec.words / words_per_cycle
 
-        # Decoupled data orchestration: memory streams in op order; compute
-        # for op i starts when both the previous op and its own data are
-        # done (prefetching hides latency whenever compute is the bound).
-        mem_clock += mem_words / words_per_cycle
+        # Decoupled data orchestration: compute for op i starts when the
+        # previous op is done and its own stream has arrived.  Prefetched
+        # operands arrived at an earlier memory clock (ready_at), so only
+        # the residual fetched at the head delays this op.
+        mem_clock += own_cycles
+        # At depth 1 (the classic one-op-deep recurrence) compute never
+        # runs ahead of the in-order memory stream; with lookahead, a
+        # fully prefetched op waits only for its own stream's completion
+        # time (ready_at), not for the window's later fetches.  Writeback
+        # residuals (evicted dirty victims) occupy the stream but do not
+        # gate this op's compute - only missing operands do.
+        if depth == 1 or fetch_cycles:
+            op_ready = mem_clock
+        else:
+            op_ready = ready_at[i]
         cycles = cost.compute_cycles(cfg)
         # Pipeline-fill latency is exposed only when this op consumes the
         # previous op's result (a true dependence chain); independent ops
@@ -310,14 +458,43 @@ def simulate(program: Program, cfg: ChipConfig,
         if chained:
             cycles += op_latency(cfg, op, n)
         prev_result = op.result
-        compute_start = max(comp_clock, mem_clock)
+        compute_start = max(comp_clock, op_ready)
         stall = compute_start - comp_clock
+        # Stall-cause split: the share covered by streams issued only at
+        # the head (a deeper prefetch window could have hidden it) vs the
+        # share where the memory stream itself is the backlog.
+        window_stall = min(stall, own_cycles)
+        total_stall += stall
+        total_window_stall += window_stall
         comp_clock = compute_start + cycles
         op_fu_cycles: dict[str, float] = {}
         for cls, elements in cost.fu_elements.items():
             capacity = max(1.0, _unit_capacity(cfg, cls))
             op_fu_cycles[cls] = elements / capacity
             fu_busy[cls] = fu_busy.get(cls, 0.0) + elements / capacity
+
+        # Free-on-last-use before the prefetcher claims space: dead
+        # residents this op just consumed never become Belady victims.
+        dead_sweep(op, uses)
+
+        # Lookahead data orchestration: while this op computes, stream
+        # operands for the next prefetch_depth - 1 ops (skipping values
+        # their producers have not materialized yet - those are forwarded
+        # on chip, not fetched).
+        for j in range(i + 1, min(i + depth, n_ops)):
+            if issued[j] or ops[j].kind == OUTPUT:
+                continue
+            moved_ahead = 0.0
+            for obj, words, category in plans[j]:
+                if producer.get(obj, -1) > i:
+                    continue  # produced later on chip; nothing to stream
+                moved_ahead += prefetch(obj, words, category, j)
+            issued[j] = True
+            if moved_ahead:
+                mem_words += moved_ahead
+                mem_clock += moved_ahead / words_per_cycle
+            ready_at[j] = mem_clock
+
         # Checkpoint boundary: snapshot the live intermediate state through
         # HBM.  Charged before the op's event is recorded so the advance
         # still telescopes into the per-op cycle accounting.
@@ -334,11 +511,22 @@ def simulate(program: Program, cfg: ChipConfig,
                 if tr is not None:
                     tr.count("sim.checkpoints")
                     tr.count("sim.checkpoint_words", ckpt_words)
+        total_evictions += evicted[0]
+        total_dead_drops += dead_drops[0]
+        total_hits += hits[0]
         if tr is not None:
             if chained and cfg.chaining:
                 tr.count("sim.chain_hits")
             record(op, i, crit_before, mem_before, compute_start, cycles,
                    stall, mem_words, op_fu_cycles)
+
+    if tr is not None:
+        if total_stall:
+            tr.count("sim.stall_cycles", total_stall)
+            tr.count("sim.stall_cycles.bandwidth",
+                     total_stall - total_window_stall)
+        if total_window_stall:
+            tr.count("sim.prefetch_window_stalls", total_window_stall)
 
     total_cycles = max(comp_clock, mem_clock)
     return SimResult(
@@ -364,6 +552,11 @@ def simulate(program: Program, cfg: ChipConfig,
         port_stream_elements=totals.port_stream_elements,
         rf_capacity_words=cfg.register_file_words,
         peak_resident_words=rf.peak,
+        rf_evictions=total_evictions,
+        dead_drops=total_dead_drops,
+        prefetch_hits=total_hits,
+        stall_cycles=total_stall,
+        prefetch_window_stall_cycles=total_window_stall,
     )
 
 

@@ -179,6 +179,22 @@ def is_enabled() -> bool:
 
 
 @contextmanager
+def paused():
+    """Scoped tracing *suppression*: ``with obs.paused(): ...`` detaches
+    the live collector (if any) and restores it on exit.  For internal
+    what-if runs - e.g. a compiler gate simulating both the original and
+    the candidate schedule - whose counters and op events must not leak
+    into the user's trace as if they were real executions."""
+    global _active
+    previous = _active
+    _active = None
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+@contextmanager
 def collecting(**meta: object):
     """Scoped tracing: ``with obs.collecting() as c: ...`` - restores the
     previous collector (usually None) on exit, so tests can't leak state.

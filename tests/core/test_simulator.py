@@ -117,3 +117,89 @@ def test_fu_utilization_bounds():
     res = simulate(tiny_program(), CFG)
     assert 0 <= res.fu_utilization() <= 1
     assert 0 <= res.bandwidth_utilization <= 1
+
+
+# -- lookahead orchestration, dead-dropping, and the sim.* observables ----
+
+
+def test_prefetch_depth_must_cover_current_op():
+    from repro.reliability.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="prefetch window"):
+        ChipConfig(prefetch_depth=0)
+
+
+def test_prefetch_window_is_cycle_and_traffic_neutral():
+    """The memory stream already runs decoupled from compute, and the
+    prefetcher only claims free capacity - so deepening the window may
+    reorder fetches but must not change totals on a stream that fits."""
+    prog = tiny_program(level=60, rotations=12, distinct_hints=3)
+    base = simulate(prog, CFG)
+    for depth in (2, 4):
+        deep = simulate(prog, CFG.with_prefetch_depth(depth))
+        assert deep.cycles == base.cycles
+        assert deep.traffic_words == base.traffic_words
+
+
+def test_prefetch_hits_are_counted_at_depth():
+    prog = tiny_program(level=60, rotations=12, distinct_hints=3)
+    assert simulate(prog, CFG).prefetch_hits == 0
+    deep = simulate(prog, CFG.with_prefetch_depth(4))
+    assert deep.prefetch_hits > 0
+
+
+def test_prefetch_never_evicts_residents():
+    """Under pressure the window stops growing instead of displacing data
+    the compute head still needs: evictions at depth k never exceed the
+    depth-1 count."""
+    prog = tiny_program(level=60, rotations=24, distinct_hints=6)
+    cfg = CFG.with_register_file(30)   # forces thrash at depth 1
+    base = simulate(prog, cfg)
+    assert base.rf_evictions > 0
+    deep = simulate(prog, cfg.with_prefetch_depth(8))
+    assert deep.rf_evictions <= base.rf_evictions
+    assert deep.traffic_words["ksh"] <= base.traffic_words["ksh"]
+
+
+def test_dead_values_are_dropped_on_last_use():
+    """Free-on-last-use: a chain of rotates kills each intermediate at
+    its single consumer, so residents are released instead of lingering
+    as Belady victims."""
+    res = simulate(tiny_program(rotations=8, distinct_hints=2), CFG)
+    assert res.dead_drops > 0
+    assert res.rf_evictions == 0
+
+
+def test_output_drops_stored_record_for_non_ssa_streams():
+    """An OUTPUT whose result name shadows a resident value (hand-built,
+    non-SSA streams) must release that record too - and its operand, once
+    stored, is dead and dropped as well."""
+    prog = Program(name="shadow", degree=65536, max_level=10)
+    prog.append(HomOp(kind="input", level=10, result="x"))
+    prog.append(HomOp(kind="add", level=10, result="y", operands=("x", "x")))
+    prog.append(HomOp(kind="output", level=10, result="y", operands=("x",)))
+    res = simulate(prog, CFG)
+    # x dropped as a stored dead operand; y dropped as the shadowed record
+    # (y is the op's own result name, hence counted via the result branch).
+    assert res.dead_drops >= 2
+
+
+def test_op_events_telescope_at_all_depths():
+    from repro.obs import collector as obs
+
+    prog = tiny_program(level=60, rotations=12, distinct_hints=3)
+    for depth in (1, 2, 8):
+        with obs.collecting() as c:
+            res = simulate(prog, CFG.with_prefetch_depth(depth))
+        assert c.total_op_cycles() == pytest.approx(res.cycles)
+        assert c.counters.get("sim.rf_evictions", 0) == res.rf_evictions
+        assert c.counters.get("sim.dead_drops", 0) == res.dead_drops
+        assert c.counters.get("sim.prefetch_hits", 0) == res.prefetch_hits
+        assert c.counters.get("sim.stall_cycles", 0) == pytest.approx(
+            res.stall_cycles)
+
+
+def test_stall_cause_split_is_consistent():
+    res = simulate(tiny_program(rotations=30, distinct_hints=30), CFG)
+    assert res.stall_cycles > 0          # memory-bound: compute waits
+    assert 0 <= res.prefetch_window_stall_cycles <= res.stall_cycles
