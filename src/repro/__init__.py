@@ -34,6 +34,7 @@ Quick start::
 """
 
 from repro.baselines import CpuModel, cpu_seconds, f1plus_config
+from repro.compiler import CompileCache, compile_program
 from repro.core import (
     ChipConfig,
     SimResult,
@@ -63,6 +64,7 @@ __all__ = [
     "Bootstrapper",
     "ChipConfig",
     "Ciphertext",
+    "CompileCache",
     "CkksContext",
     "CkksParams",
     "CpuModel",
@@ -75,6 +77,7 @@ __all__ = [
     "area_breakdown",
     "average_power",
     "benchmark",
+    "compile_program",
     "cpu_seconds",
     "energy_breakdown",
     "f1plus_config",

@@ -9,6 +9,11 @@ schedules fall out of this rule:
 * 128-bit, N=64K: 1-digit for L < 32, 2-digit for 32 <= L < 43,
                   3-digit for L >= 43 (and bootstrap twice as often).
 * 200-bit:        requires N=128K, with higher-digit variants.
+
+Like bootstrap placement, the digit schedule is an emission-time
+decision: the chosen t is stamped onto each emitted ``HomOp.digits``,
+so the compile cache's fingerprint covers it through the IR itself
+(docs/COMPILER.md).
 """
 
 from __future__ import annotations

@@ -49,6 +49,12 @@ Input rotations that are already batched (``repeat > 1``) stand for
 rotations of *different* ciphertexts sharing a hint - there is no common
 ModUp to hoist - and :data:`~repro.ir.CONJUGATE` ops are single
 automorphisms with nothing to share, so both are skipped.
+
+The pass is deterministic (groups follow stream order; the gate is a
+pure cost-model comparison), which the compile cache
+(`repro.compiler.cache`) relies on to substitute a stored artifact for
+a recompile; behavior changes here that alter output for an unchanged
+input require a ``FORMAT_VERSION`` bump (see docs/COMPILER.md).
 """
 
 from __future__ import annotations

@@ -168,8 +168,11 @@ def order_for_pressure(program: Program,
     with obs.span("compiler.order_for_pressure", "compiler"):
         candidate = _order_for_pressure(program, cfg, window)
         with obs.paused():
-            base = simulate(program, cfg)
-            cand = simulate(candidate, cfg)
+            # cache=False: the gate must measure *these* schedules
+            # verbatim - routing through the compile cache here would
+            # recurse (compile -> gate -> compile) and defeat the gate.
+            base = simulate(program, cfg, cache=False)
+            cand = simulate(candidate, cfg, cache=False)
     stores = "interm_store"
     if (cand.cycles <= base.cycles
             and cand.traffic_words[stores] <= base.traffic_words[stores]):

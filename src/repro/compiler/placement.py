@@ -11,6 +11,11 @@ wastes usable levels, any later one is infeasible.
 `plan_refreshes` works on abstract depth requirements so workloads and
 tests can reason about placement without building full programs;
 `amortized_cost_per_op` exposes the Fig. 3 objective for a placement.
+
+Placement is an *emission-time* decision: workloads consult it while
+the DSL builds the op stream, so its outcome is fully captured in the
+emitted IR.  The compile cache's fingerprint therefore covers it for
+free - no separate placement flag exists or is needed (docs/COMPILER.md).
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ enabled, as ``sim.*`` counters (see docs/TRACING.md).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.config import ChipConfig
@@ -219,7 +220,7 @@ def _fetch_plan(op, cost: OpCost | None, n: int) -> list[tuple[str, float, str]]
 
 
 def simulate(program: Program, cfg: ChipConfig,
-             checkpoint_every: int = 0) -> SimResult:
+             checkpoint_every: int = 0, cache=None) -> SimResult:
     """Run ``program`` on machine ``cfg``; see module docstring.
 
     ``checkpoint_every`` > 0 models checkpointed execution (the recovery
@@ -230,7 +231,24 @@ def simulate(program: Program, cfg: ChipConfig,
     enabled, so uncheckpointed results keep their exact shape) and
     advances the memory clock, making the resilience bandwidth cost
     visible in the same units as Fig. 10a's traffic split.
+
+    ``cache`` routes the program through the compiler's lowering
+    pipeline (`repro.compiler.cache.compile_program`: hoisting +
+    pressure scheduling behind the content-addressed compile cache)
+    before simulating - the compile-once/run-many entry path for
+    repeated inference.  Accepts ``True`` (the default process-wide
+    cache), a directory path, or a ``CompileCache``.  The default
+    (``None``, overridable with ``REPRO_COMPILE_CACHE=1``) simulates
+    the given op stream exactly as passed, with no lowering and no
+    caching, so existing results are unchanged.  See docs/COMPILER.md.
     """
+    if cache is None and os.environ.get("REPRO_COMPILE_CACHE", "") in (
+            "1", "on", "true"):
+        cache = True
+    if cache:
+        from repro.compiler.cache import compile_program
+
+        program = compile_program(program, cfg, cache=cache)
     validate_program(program, cfg)
     n = program.degree
     ops = program.ops

@@ -10,6 +10,24 @@ Operands are named; sizes derive from (kind, level, degree).  ``hint_id``
 identifies which keyswitch hint an op applies - hint reuse across ops is
 what the register file's Belady management and the KSH traffic accounting
 (Fig. 10a) are about.
+
+Stability guarantees
+--------------------
+This IR is a *serialized* surface: `repro.compiler.cache` persists
+lowered programs to disk and content-addresses them, so the field set
+and semantics of :class:`HomOp` / :class:`Program` are versioned by
+``repro.compiler.cache.FORMAT_VERSION``.  Changing a field's meaning,
+adding a field that affects scheduling, or reordering :data:`KINDS`
+(the serialized kind codes are indices into it) requires bumping that
+version so stale artifacts are rejected instead of decoded wrongly.
+
+Names are *not* semantic: SSA value names, ``hint_id`` and
+``plaintext_id`` strings are display handles whose consistent renaming
+never changes a schedule, and the cache's fingerprints are invariant
+under such renames (the sharing structure - which ops use the *same*
+hint or value - is what's hashed).  ``Program.name`` and
+``description`` are pure metadata, excluded from fingerprints.  See
+docs/COMPILER.md for the full contract.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from repro.reliability.checksums import (
     verify_limbs,
 )
 from repro.reliability.errors import (
+    ArtifactError,
     ConfigError,
     FaultDetectedError,
     LevelMismatchError,
@@ -68,6 +69,7 @@ def __getattr__(name):
 
 
 __all__ = [
+    "ArtifactError",
     "CampaignResult",
     "Checkpoint",
     "CiphertextSnapshot",
