@@ -1,0 +1,112 @@
+"""Serving-load sweep: tail latency and shedding vs offered qps.
+
+Not a paper table: this is the regression artifact for the serving
+front-end (`repro.serve`, docs/SERVING.md).  It sweeps offered load
+from well under chip capacity to well past it and reports, per point,
+what the front-end did with the excess: p50/p99 latency, shed
+breakdown (overload / infeasible deadline / breaker / invalid),
+degraded dispatches, serve-level retries, and chip utilization.  A
+paired no-fault run at the saturation point isolates the cost of the
+fault-tolerance machinery itself.
+
+Acceptance criteria (shape, not absolute numbers):
+
+* zero wrong answers and zero typed failures at every point - overload
+  changes *who gets served*, never the correctness of the answers;
+* total load shed is monotone in offered qps, and the overload/deadline
+  shed reasons only appear once the chip saturates;
+* under saturation the queue rides its bound without ever exceeding it,
+  and degradation (smaller, eager batches) engages before shedding;
+* the faulted run completes exactly as many correct answers per
+  admitted request as the clean run - faults cost latency, not answers.
+
+Every point is bit-reproducible from its seed (campaign property,
+enforced in tests/serve/); the nightly artifact therefore only moves
+when serving behavior actually changes.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.serve import LoadSpec, ServeConfig, run_campaign
+
+# The sweep brackets chip capacity: the top point's arrivals outrun
+# service by enough to fill the depth-64 queue inside a 200-request
+# burst, so every shed reason appears.  Fewer requests per point than
+# the CLI default keeps the whole sweep in nightly budget.
+QPS_POINTS = (50_000.0, 150_000.0, 600_000.0, 2_400_000.0)
+REQUESTS = 200
+
+
+def _point(qps: float, fault_rate: float, seed: int = 2022):
+    spec = LoadSpec(requests=REQUESTS, qps=qps, fault_rate=fault_rate,
+                    seed=seed)
+    cfg = ServeConfig(seed=seed, verify_responses=True)
+    return run_campaign(spec, cfg)
+
+
+def _sweep():
+    points = [(qps, _point(qps, fault_rate=0.15)) for qps in QPS_POINTS]
+    clean = _point(QPS_POINTS[-1], fault_rate=0.0)
+    return points, clean
+
+
+def test_serving_load_sweep(benchmark):
+    points, clean = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for qps, r in points:
+        rows.append([
+            f"{qps / 1e3:.0f}k", r.admitted, r.completed,
+            r.shed.get("overload", 0), r.shed.get("deadline", 0),
+            r.shed.get("breaker", 0) + r.shed.get("invalid", 0),
+            r.degraded_dispatches, r.retries,
+            f"{r.p50_ms:.3f}", f"{r.p99_ms:.3f}",
+            f"{r.utilization:.0%}",
+        ])
+    table = format_table(
+        ["offered qps", "admitted", "completed", "shed:over",
+         "shed:ddl", "shed:tenant", "degraded", "retries",
+         "p50 ms", "p99 ms", "chip util"],
+        rows,
+        title=f"Serving load sweep ({REQUESTS} requests/point, "
+              "fault_rate=0.15, seed=2022)")
+
+    fr = points[-1][1]
+    comparison = format_table(
+        [f"run @{QPS_POINTS[-1] / 1e3:.0f}k qps", "completed", "retries",
+         "faults recovered", "p99 ms"],
+        [["faulted", fr.completed, fr.retries, fr.faults_recovered,
+          f"{fr.p99_ms:.3f}"],
+         ["clean", clean.completed, clean.retries,
+          clean.faults_recovered, f"{clean.p99_ms:.3f}"]],
+        title="Fault-tolerance overhead at saturation")
+    emit("serving_load", table + "\n\n" + comparison)
+
+    # -- shape criteria -------------------------------------------------
+    for qps, r in points:
+        assert r.wrong_answers == 0, (qps, r.wrong_answers)
+        assert r.failed == 0, (qps, r.failed)
+        assert r.max_queue_seen <= r.cfg.queue_depth
+        assert r.offered == r.admitted + r.shed_total
+
+    shed_totals = [r.shed_total for _, r in points]
+    assert shed_totals == sorted(shed_totals), shed_totals
+
+    light, saturated = points[0][1], points[-1][1]
+    # Light load: no capacity-driven shedding (tenant-driven shedding -
+    # the poison tenant's breaker - is load-independent and stays).
+    assert light.shed.get("overload", 0) == 0
+    assert saturated.shed.get("overload", 0) > 0
+    assert saturated.degraded_dispatches > 0
+    # Overload does NOT blow up the survivors' tail: admission control
+    # sheds the infeasible traffic, so completed requests still meet
+    # their deadlines (p99 of completions is bounded by the deadline
+    # range by construction - late completions are counted as expired).
+    assert saturated.p99_ms / 1e3 <= fr.spec.deadline_hi_s * 1.01
+
+    # Faults cost retries and tail latency, never answers.
+    assert fr.retries > 0 and clean.retries == 0
+    assert fr.wrong_answers == 0 and clean.wrong_answers == 0

@@ -86,6 +86,12 @@ class SimResult:
     prefetch_window_stall_cycles: float = 0.0  # stall share a deeper
     #                                window could have hidden (operand
     #                                streams issued only at the head)
+    # Critical-path cycles attributed to each op tag (FheBuilder.phase
+    # label; "" for untagged ops).  Each op's critical-path advance lands
+    # in its tag's bucket, so the buckets telescope exactly to ``cycles``
+    # - the serving layer uses this to charge chip time to a batch's
+    # phases (and, divided by occupancy, to individual requests).
+    tag_cycles: dict[str, float] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -355,6 +361,14 @@ def simulate(program: Program, cfg: ChipConfig,
                 dead_drops[0] += 1
 
     tr = obs.active()
+    tag_cycles: dict[str, float] = {}
+
+    def charge_tag(op, crit_before: float) -> None:
+        """Attribute this op's critical-path advance to its tag bucket;
+        the per-tag sums telescope exactly to the final cycle count."""
+        advance = max(comp_clock, mem_clock) - crit_before
+        if advance:
+            tag_cycles[op.tag] = tag_cycles.get(op.tag, 0.0) + advance
 
     def record(op, index: int, crit_before: float, mem_before: float,
                compute_start: float, compute_cycles: float,
@@ -411,6 +425,7 @@ def simulate(program: Program, cfg: ChipConfig,
             if op.result not in op.operands and rf.drop(op.result) is not None:
                 dead_drops[0] += 1
             total_dead_drops += dead_drops[0]
+            charge_tag(op, crit_before)
             if tr is not None:
                 record(op, i, crit_before, mem_before, comp_clock, 0.0,
                        0.0, words)
@@ -431,6 +446,7 @@ def simulate(program: Program, cfg: ChipConfig,
             total_evictions += evicted[0]
             total_dead_drops += dead_drops[0]
             total_hits += hits[0]
+            charge_tag(op, crit_before)
             if tr is not None:
                 record(op, i, crit_before, mem_before, comp_clock, 0.0,
                        0.0, mem_words)
@@ -532,6 +548,7 @@ def simulate(program: Program, cfg: ChipConfig,
         total_evictions += evicted[0]
         total_dead_drops += dead_drops[0]
         total_hits += hits[0]
+        charge_tag(op, crit_before)
         if tr is not None:
             if chained and cfg.chaining:
                 tr.count("sim.chain_hits")
@@ -575,6 +592,7 @@ def simulate(program: Program, cfg: ChipConfig,
         prefetch_hits=total_hits,
         stall_cycles=total_stall,
         prefetch_window_stall_cycles=total_window_stall,
+        tag_cycles=tag_cycles,
     )
 
 

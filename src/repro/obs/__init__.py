@@ -43,12 +43,14 @@ from repro.obs.collector import (
     disable,
     emit_op,
     enable,
+    gauge,
     is_enabled,
     span,
 )
 from repro.obs.export import (
     chrome_trace,
     counters_csv,
+    gauges_csv,
     spans_csv,
     top_report,
     write_chrome_trace,
@@ -66,6 +68,8 @@ __all__ = [
     "disable",
     "emit_op",
     "enable",
+    "gauge",
+    "gauges_csv",
     "is_enabled",
     "span",
     "spans_csv",

@@ -77,6 +77,10 @@ class Collector:
 
     def __init__(self, **meta: object):
         self.counters: dict[str, float] = {}
+        # Gauges are last-write-wins level measurements (a queue depth,
+        # a p99, a utilization fraction) as opposed to the monotonically
+        # accumulated counters; exporters list them separately.
+        self.gauges: dict[str, float] = {}
         self.spans: list[Span] = []
         self.op_events: list[OpEvent] = []
         # Free-form run tags (config name, sweep point, campaign seed...).
@@ -90,6 +94,9 @@ class Collector:
 
     def count(self, name: str, value: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
 
     def emit_op(self, event: OpEvent) -> None:
         self.op_events.append(event)
@@ -218,6 +225,13 @@ def count(name: str, value: float = 1.0) -> None:
     c = _active
     if c is not None:
         c.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a named gauge to ``value`` (no-op when tracing is disabled)."""
+    c = _active
+    if c is not None:
+        c.gauge(name, value)
 
 
 def span(name: str, cat: str = ""):

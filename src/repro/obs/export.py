@@ -100,6 +100,12 @@ def top_report(collector: Collector, n: int = 10) -> str:
             ["counter", "value"], rows, title="Counters",
         ))
 
+    if collector.gauges:
+        rows = sorted(collector.gauges.items())
+        sections.append(format_table(
+            ["gauge", "value"], rows, title="Gauges (last-write-wins)",
+        ))
+
     return "\n\n".join(sections) if sections else "(no events collected)"
 
 
@@ -109,6 +115,14 @@ def counters_csv(collector: Collector) -> str:
 
     rows = sorted(collector.counters.items())
     return format_csv(["counter", "value"], rows)
+
+
+def gauges_csv(collector: Collector) -> str:
+    """Gauges as two-column CSV (``gauge,value``)."""
+    from repro.analysis.report import format_csv  # deferred; see top_report
+
+    rows = sorted(collector.gauges.items())
+    return format_csv(["gauge", "value"], rows)
 
 
 def spans_csv(collector: Collector) -> str:

@@ -32,6 +32,13 @@ The taxonomy mirrors where things go wrong in an FHE pipeline:
 * :class:`UnrecoverableFaultError` - checkpoint replay *and* every
   escalation (older checkpoints, full restart) failed to clear a
   detected fault; subclasses :class:`FaultDetectedError`.
+* :class:`Overloaded` / :class:`DeadlineExceeded` / :class:`CircuitOpen`
+  - the serving front-end's (`repro.serve`) admission-control verdicts:
+  the request was *rejected by policy*, not broken.  They subclass only
+  :class:`ReproError` (not :class:`ValueError` - the request was
+  well-formed, the system chose not to run it) and carry machine-usable
+  context (queue depth, deadline slack, breaker state) so clients can
+  back off intelligently.
 
 Errors carry an optional ``context`` dict of machine-readable details
 (op name, levels, scales) appended to the message, so failures deep in a
@@ -89,6 +96,44 @@ class ArtifactError(ReproError, RuntimeError):
     (and any other load-time exception), counts
     ``compiler.cache.invalid``, removes the bad files, and reports a
     miss - on-disk corruption degrades recompilation, never correctness.
+    """
+
+
+class Overloaded(ReproError):
+    """The serving front-end shed this request to protect the ones it
+    already accepted.
+
+    Raised by :meth:`repro.serve.server.Server.submit` when the bounded
+    request queue is at its configured depth: the queue never grows
+    without bound, so sustained overload turns into typed rejections the
+    client can retry against another replica (or later) instead of into
+    unbounded latency for everyone.  Context carries ``queue_depth`` and
+    the current backlog.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline cannot be (or was not) met.
+
+    Two sites raise it: admission control, when the estimated queue wait
+    plus service time already overruns the deadline (shedding the
+    request *before* it wastes chip cycles), and the dispatcher, when a
+    queued request's deadline lapses before the chip reaches it (the
+    request is cancelled and counted, never executed).  Context carries
+    the deadline, the estimate that condemned it, and where it died.
+    """
+
+
+class CircuitOpen(ReproError):
+    """The tenant's circuit breaker is open; the request was not queued.
+
+    After ``breaker_threshold`` consecutive tenant-attributable failures
+    (malformed payloads, not chip faults) the tenant's breaker opens and
+    its traffic is rejected at admission for ``breaker_cooldown_s`` of
+    virtual time, isolating a misbehaving tenant from the shared chip.
+    A half-open probe readmits one request after the cooldown; its
+    outcome closes or re-opens the breaker.  Context carries the breaker
+    state and when the next probe is due.
     """
 
 

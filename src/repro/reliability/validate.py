@@ -24,7 +24,17 @@ def validate_config(cfg) -> None:
     ``ChipConfig.__post_init__`` already enforces field sanity; this
     hook exists for checks that need derived quantities and for callers
     validating configs built outside the dataclass (tests, sweeps).
+
+    Also accepts a serving config (`repro.serve.config.ServeConfig`,
+    recognized structurally by its ``queue_depth`` field) and rejects
+    nonsensical serving setups - a zero-depth queue, a non-positive
+    deadline, a packing block that does not tile the slot count - with
+    the same :class:`ConfigError` family, so one pre-flight entry point
+    covers both the chip and the front-end in front of it.
     """
+    if hasattr(cfg, "queue_depth"):
+        _validate_serve_config(cfg)
+        return
     if cfg.hbm_words_per_cycle <= 0:
         raise ConfigError(
             "config has no HBM bandwidth; nothing can stream",
@@ -36,6 +46,75 @@ def validate_config(cfg) -> None:
             "register file rounds to zero words",
             config=cfg.name, register_file_mb=cfg.register_file_mb,
         )
+
+
+def _validate_serve_config(cfg) -> None:
+    """Reject serving configs that cannot possibly serve.
+
+    Structural sanity only (the knobs' value ranges); capacity checks
+    that need the CKKS instantiation (block vs slot count) live here too
+    because they are pure arithmetic over config fields.
+    """
+    if cfg.queue_depth < 1:
+        raise ConfigError(
+            "serve queue depth must be >= 1; a zero-depth queue sheds "
+            "every request", queue_depth=cfg.queue_depth)
+    if cfg.default_deadline_s <= 0:
+        raise ConfigError(
+            "default deadline must be positive virtual seconds",
+            default_deadline_s=cfg.default_deadline_s)
+    if cfg.degree & (cfg.degree - 1) or cfg.degree < 8:
+        raise ConfigError("serve degree must be a power of two >= 8",
+                          degree=cfg.degree)
+    slots = cfg.degree // 2
+    if cfg.block_slots < 2 or cfg.block_slots & (cfg.block_slots - 1):
+        raise ConfigError(
+            "block_slots must be a power of two >= 2 (the rotate-and-"
+            "accumulate reduction halves the stride each step)",
+            block_slots=cfg.block_slots)
+    if cfg.block_slots > slots:
+        raise ConfigError(
+            "one tenant block cannot exceed the ciphertext slot count",
+            block_slots=cfg.block_slots, slots=slots)
+    if cfg.max_batch < 1 or cfg.max_batch > slots // cfg.block_slots:
+        raise ConfigError(
+            "max_batch must fit the ciphertext's block capacity",
+            max_batch=cfg.max_batch, capacity=slots // cfg.block_slots)
+    if cfg.max_level < 5:
+        raise ConfigError(
+            "serving workloads need at least 5 levels: the deepest kind "
+            "consumes 3 rescales and must still end at level >= 2 - at "
+            "level 1 the last modulus roughly equals the scale, leaving "
+            "a ~0.5 representable range that real scores silently wrap "
+            "around", max_level=cfg.max_level)
+    if cfg.batch_window_s < 0:
+        raise ConfigError("batch window cannot be negative",
+                          batch_window_s=cfg.batch_window_s)
+    if not 0.0 < cfg.degrade_watermark <= 1.0:
+        raise ConfigError(
+            "degrade watermark is a fraction of queue_depth in (0, 1]",
+            degrade_watermark=cfg.degrade_watermark)
+    if cfg.max_retries < 0:
+        raise ConfigError("max_retries must be >= 0",
+                          max_retries=cfg.max_retries)
+    if cfg.backoff_base_s < 0 or cfg.backoff_factor < 1:
+        raise ConfigError(
+            "backoff needs base >= 0 and factor >= 1",
+            backoff_base_s=cfg.backoff_base_s,
+            backoff_factor=cfg.backoff_factor)
+    if not 0.0 <= cfg.backoff_jitter < 1.0:
+        raise ConfigError("backoff jitter is a fraction in [0, 1)",
+                          backoff_jitter=cfg.backoff_jitter)
+    if cfg.breaker_threshold < 1:
+        raise ConfigError(
+            "breaker opens after K >= 1 consecutive failures",
+            breaker_threshold=cfg.breaker_threshold)
+    if cfg.breaker_cooldown_s < 0:
+        raise ConfigError("breaker cooldown cannot be negative",
+                          breaker_cooldown_s=cfg.breaker_cooldown_s)
+    if cfg.checkpoint_every < 1:
+        raise ConfigError("checkpoint_every must be >= 1",
+                          checkpoint_every=cfg.checkpoint_every)
 
 
 def validate_program(program, cfg) -> None:

@@ -1,0 +1,138 @@
+"""Per-tenant circuit breaker: closed -> open -> half-open -> closed.
+
+The breaker is the serving layer's tenant-isolation mechanism: chip
+faults are *shared-fate* (handled by retry/recovery and never blamed on
+a tenant), but a tenant that keeps submitting garbage - oversized
+values, NaNs, wrong-length payloads - burns admission work and, if it
+ever reached a shared ciphertext, would poison every co-packed tenant
+through the encoder's global transform.  So tenant-attributable failures
+are tracked per tenant, and after ``threshold`` *consecutive* failures
+the tenant's breaker opens: its traffic is rejected at admission with
+:class:`~repro.reliability.errors.CircuitOpen` (cheap, no queue slot, no
+chip cycles) while everyone else's service is untouched.
+
+After ``cooldown_s`` of virtual time the breaker half-opens and admits
+exactly one probe request; the probe's outcome decides - success closes
+the breaker (and resets the failure count), failure re-opens it for a
+fresh cooldown.  While a probe is in flight, further requests are still
+rejected: one bad tenant gets at most one speculative slot per cooldown.
+
+The breaker never reads a clock itself; every transition takes ``now``
+from the caller (the server's virtual clock), keeping this module pure
+state-machine and trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import collector as obs
+from repro.reliability.errors import ParameterError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+@dataclass
+class BreakerStats:
+    """Transition counts for one tenant's breaker."""
+
+    failures: int = 0          # total recorded failures
+    successes: int = 0
+    opens: int = 0             # CLOSED/HALF_OPEN -> OPEN transitions
+    probes: int = 0            # half-open probes admitted
+    rejections: int = 0        # requests refused while OPEN/probing
+
+
+class CircuitBreaker:
+    """One tenant's failure-isolation state machine."""
+
+    def __init__(self, tenant: str, threshold: int = 3,
+                 cooldown_s: float = 1e-2):
+        if threshold < 1:
+            raise ParameterError("breaker threshold must be >= 1",
+                                 threshold=threshold)
+        if cooldown_s < 0:
+            raise ParameterError("breaker cooldown cannot be negative",
+                                 cooldown_s=cooldown_s)
+        self.tenant = tenant
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probe_inflight = False
+        self.stats = BreakerStats()
+
+    # -- admission-side query ---------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a request from this tenant be admitted at ``now``?
+
+        Returns True either because the breaker is CLOSED or because the
+        cooldown has elapsed and this call claims the half-open probe
+        slot (the caller must mark the admitted request as the probe and
+        later resolve it via :meth:`record_success` /
+        :meth:`record_failure`).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and now - self.opened_at >= self.cooldown_s:
+            self.state = HALF_OPEN
+            self.probe_inflight = False
+        if self.state == HALF_OPEN and not self.probe_inflight:
+            self.probe_inflight = True
+            self.stats.probes += 1
+            obs.count("serve.breaker.probes")
+            return True
+        self.stats.rejections += 1
+        return False
+
+    @property
+    def probing(self) -> bool:
+        return self.state == HALF_OPEN and self.probe_inflight
+
+    def next_probe_at(self) -> float:
+        """Virtual time the next probe becomes admissible (inf if the
+        breaker is closed - nothing to wait for)."""
+        if self.state == OPEN:
+            return self.opened_at + self.cooldown_s
+        return float("inf") if self.state == CLOSED else self.opened_at
+
+    # -- outcome-side transitions -----------------------------------------
+
+    def record_success(self) -> None:
+        self.stats.successes += 1
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.probe_inflight = False
+            obs.count("serve.breaker.closed")
+
+    def record_failure(self, now: float) -> bool:
+        """Record a tenant-attributable failure; returns True when this
+        failure opened (or re-opened) the breaker."""
+        self.stats.failures += 1
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # The probe failed: straight back to OPEN, fresh cooldown.
+            self._open(now)
+            return True
+        if self.state == CLOSED \
+                and self.consecutive_failures >= self.threshold:
+            self._open(now)
+            return True
+        return False
+
+    def _open(self, now: float) -> None:
+        self.state = OPEN
+        self.opened_at = now
+        self.probe_inflight = False
+        self.stats.opens += 1
+        obs.count("serve.breaker.opens")
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.tenant!r}, {self.state}, "
+                f"fails={self.consecutive_failures}/{self.threshold})")

@@ -1,0 +1,57 @@
+"""Injectable virtual time for the serving front-end.
+
+Every time-dependent decision in `repro.serve` - deadlines, queue
+waits, breaker cooldowns, backoff pauses, qps accounting - reads one
+:class:`VirtualClock` instance instead of ``time.time()``.  That single
+indirection is what makes a serving campaign a *deterministic discrete-
+event simulation*: the load generator advances the clock to the next
+arrival or dispatch, the chip's simulated service time advances it
+through execution, and two runs from the same seed produce bit-identical
+timelines, latencies and metrics.  Nothing in the serve package may call
+wall-clock functions (asserted by a test grepping the package source).
+
+The clock is monotonic by construction: :meth:`advance` rejects negative
+deltas and :meth:`advance_to` is a no-op for past timestamps, so buggy
+callers cannot rewind history and corrupt latency accounting.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.errors import ParameterError
+
+
+class VirtualClock:
+    """Monotonic simulated time in (virtual) seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise ParameterError("virtual time cannot move backwards",
+                                 dt=dt)
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t`` (no-op if ``t`` is in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def sleep(self, dt: float) -> None:
+        """Blocking-sleep equivalent: just advances the clock.
+
+        Passed as the ``sleep`` hook to
+        :class:`repro.reliability.recovery.RecoveringExecutor` so retry
+        backoff is charged to the request's virtual latency instead of
+        stalling the test process.
+        """
+        self.advance(dt)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.6f}s)"

@@ -1,0 +1,514 @@
+"""The serving front-end: admission, EDF dispatch, retries, degradation.
+
+One :class:`Server` owns the CKKS context, the compiled-schedule cache,
+the bounded request queue, the per-tenant circuit breakers and the
+(simulated) chip.  Its contract, end to end:
+
+* **Admission** (:meth:`Server.submit`) is where every cheap rejection
+  happens, in strict order: breaker -> payload validity -> deadline
+  feasibility -> queue bound.  Each rejection is a *typed* error
+  (:class:`CircuitOpen`, :class:`ParameterError`,
+  :class:`DeadlineExceeded`, :class:`Overloaded`) and a counted shed
+  reason; nothing invalid or hopeless ever occupies a queue slot.
+* **Dispatch** (:meth:`Server.pump`) is earliest-deadline-first over the
+  queue: the most urgent request picks the batch's workload kind, then
+  same-kind requests fill the ciphertext in deadline order.  Requests
+  whose deadline lapsed while queued are cancelled (counted
+  ``serve.expired``) before any batch forms - the chip never burns
+  cycles on an answer nobody can use.
+* **Degradation before shedding**: past a backlog watermark the server
+  stops waiting out the batch window and halves the packing target.
+  Smaller batches genuinely cost less in-model (the weight plaintexts
+  stream per occupied block), so latency flattens while throughput
+  dips - and only when that is not enough does admission shed.
+* **Execution** runs the batch's functional CKKS steps under a
+  :class:`~repro.reliability.recovery.RecoveringExecutor` with the full
+  PR 2/3 detection stack armed (hint verify, NTT checksums, the RF
+  eviction sweep).  Transient chip faults are absorbed by checkpoint
+  replay; faults that defeat the executor surface as
+  ``UnrecoverableFaultError`` and trigger serve-level retries with
+  exponential backoff + seeded jitter, on a *fresh* executor from the
+  batch's master snapshot.  Chip faults are shared-fate: they never
+  count against any tenant's breaker.
+* **Accounting** is exact and virtual-clock-only: every batch's service
+  time comes from the chip simulator (compiled once per (kind,
+  occupancy) through the PR 6 compile cache, then reused), per-phase
+  cycles from ``SimResult.tag_cycles``, and per-request chip seconds
+  are the batch's share divided by occupancy.  The obs counters this
+  module emits reconcile exactly against the server's own tallies -
+  the campaign asserts it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.cache import compile_program
+from repro.core.config import ChipConfig
+from repro.core.simulator import simulate
+from repro.obs import collector as obs
+from repro.reliability import guards
+from repro.reliability.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    Overloaded,
+    ParameterError,
+    UnrecoverableFaultError,
+)
+from repro.reliability.recovery import (
+    RecoveringExecutor,
+    RecoveryPolicy,
+    RingBufferStore,
+)
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.clock import VirtualClock
+from repro.serve.config import ServeConfig
+from repro.serve.packing import SlotPacker
+from repro.serve.request import (
+    COMPLETED,
+    EXPIRED,
+    FAILED,
+    SHED,
+    SHED_BREAKER,
+    SHED_DEADLINE,
+    SHED_INVALID,
+    SHED_OVERLOAD,
+    BatchRecord,
+    Request,
+    Response,
+)
+from repro.workloads.serving import (
+    build_steps,
+    check_kind,
+    rotation_strides,
+    serving_program,
+    serving_weights,
+    step_cycle_costs,
+)
+
+
+class Server:
+    """One serving front-end instance over one simulated chip."""
+
+    def __init__(self, cfg: ServeConfig | None = None,
+                 clock: VirtualClock | None = None,
+                 chip: ChipConfig | None = None,
+                 cache=True, fault_factory=None):
+        from repro.fhe.ckks import CkksContext, CkksParams
+
+        self.cfg = cfg or ServeConfig()
+        self.clock = clock or VirtualClock()
+        self.chip = chip or ChipConfig()
+        self.cache = cache          # compile-cache handle (PR 6 semantics)
+        # Hook for fault campaigns: fault_factory(batch_id, attempt,
+        # steps) -> steps, free to wrap step fns and arm the injector.
+        self.fault_factory = fault_factory
+        self._rng = np.random.default_rng(self.cfg.seed + 7)  # jitter only
+
+        # -- real CKKS substrate (shared by every batch) -------------------
+        c = self.cfg
+        params = CkksParams(degree=c.degree, max_level=c.max_level,
+                            digits=1,
+                            secret_hamming=max(8, c.degree // 16),
+                            seed=c.seed)
+        self.ctx = CkksContext(
+            params, policy=guards.ReliabilityPolicy(checksums=True))
+        self.sk = self.ctx.keygen()
+        self.hints = {s: self.ctx.rotation_hint(self.sk, s)
+                      for s in rotation_strides(c.block_slots)}
+        self.weights = serving_weights(c.seed + 1, c.slots, c.block_slots)
+        self.packer = SlotPacker(c.slots, c.block_slots, c.max_batch,
+                                 c.payload_limit)
+        self._steps = {}            # kind -> functional step list
+        self._step_cycles = {}      # kind -> per-step cycle prices
+        self._service = {}          # (kind, occupancy) -> (seconds, tags)
+
+        # -- serving state -------------------------------------------------
+        self.queue: list[Request] = []
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.responses: list[Response] = []
+        self.batches: list[BatchRecord] = []
+        self.chip_free_at = 0.0
+        self.busy_s = 0.0           # chip seconds actually occupied
+        self.phase_seconds: dict[str, float] = {}  # tag -> chip seconds
+        self._next_request_id = 0
+        self.max_queue_seen = 0
+
+        # Tallies mirrored into obs counters; the campaign reconciles
+        # the two exactly, so every mutation must count both or neither.
+        self.tally = {
+            "offered": 0, "admitted": 0, "shed": 0, "completed": 0,
+            "expired": 0, "failed": 0, "retries": 0, "dispatches": 0,
+            "degraded_dispatches": 0, "faults_recovered": 0,
+            "verify_mismatches": 0,
+            "shed.overload": 0, "shed.deadline": 0, "shed.breaker": 0,
+            "shed.invalid": 0,
+        }
+
+    # -- small helpers -----------------------------------------------------
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.tally[key] += n
+        obs.count(f"serve.{key}", n)
+
+    def _breaker(self, tenant: str) -> CircuitBreaker:
+        br = self.breakers.get(tenant)
+        if br is None:
+            br = self.breakers[tenant] = CircuitBreaker(
+                tenant, self.cfg.breaker_threshold,
+                self.cfg.breaker_cooldown_s)
+        return br
+
+    def _shed(self, reason: str) -> None:
+        self._count("shed")
+        self._count(f"shed.{reason}")
+
+    def _steps_for(self, kind: str):
+        if kind not in self._steps:
+            steps = build_steps(self.ctx, self.hints, self.weights, kind,
+                                self.cfg.block_slots)
+            self._steps[kind] = steps
+            self._step_cycles[kind] = step_cycle_costs(
+                steps, self.cfg.degree, self.cfg.max_level, self.chip)
+        return self._steps[kind]
+
+    def service_seconds(self, kind: str, occupancy: int) -> float:
+        """Clean (fault-free) chip service time for one batch.
+
+        Compiled through the content-addressed compile cache and
+        simulated once per (kind, occupancy); every later batch of the
+        same shape reuses the memoized schedule - compile-once,
+        run-many.  Runs under ``obs.paused()`` so internal compiler and
+        simulator counters do not pollute the serving metrics the
+        campaign reconciles.
+        """
+        key = (kind, occupancy)
+        if key not in self._service:
+            c = self.cfg
+            with obs.paused():
+                prog = serving_program(kind, c.degree, c.max_level,
+                                       c.block_slots, occupancy)
+                compiled = compile_program(prog, self.chip,
+                                           cache=self.cache)
+                sim = simulate(compiled, self.chip)
+            self._service[key] = (sim.cycles / self.chip.clock_hz,
+                                  dict(sim.tag_cycles))
+        return self._service[key][0]
+
+    def _tag_seconds(self, kind: str, occupancy: int) -> dict[str, float]:
+        self.service_seconds(kind, occupancy)
+        tags = self._service[(kind, occupancy)][1]
+        hz = self.chip.clock_hz
+        return {tag: cyc / hz for tag, cyc in tags.items()}
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, tenant: str, kind: str, payload,
+               deadline_s: float | None = None) -> Request:
+        """Admit one request or raise the typed rejection.
+
+        Rejection order is cheapest-first and every path is counted:
+        breaker (no validation spent on a quarantined tenant), payload
+        validity (tenant-attributable - feeds the breaker), deadline
+        feasibility (an ETA no better than the deadline is shed *now*,
+        not discovered at dispatch), then the hard queue bound.
+        """
+        now = self.clock.now()
+        self._count("offered")
+        br = self._breaker(tenant)
+        if not br.allow(now):
+            self._shed(SHED_BREAKER)
+            raise CircuitOpen(
+                "tenant breaker is open", tenant=tenant,
+                next_probe_at=br.next_probe_at())
+        probe = br.probing
+        try:
+            if deadline_s is not None and deadline_s <= 0:
+                raise ParameterError("deadline must be positive",
+                                     deadline_s=deadline_s)
+            check_kind(kind)
+            vec = self.packer.validate_payload(payload)
+        except ParameterError:
+            # Tenant-attributable garbage: counts toward the breaker.
+            br.record_failure(now)
+            self._shed(SHED_INVALID)
+            raise
+        if probe:
+            # The probe's question is "does this tenant send valid
+            # traffic again?" - answered right here at validation, so
+            # the breaker closes without waiting on chip execution
+            # (whose failures are shared-fate, not tenant signal).
+            br.record_success()
+
+        deadline = now + (deadline_s if deadline_s is not None
+                          else self.cfg.default_deadline_s)
+        eta = self._eta(kind, now)
+        if now + self.cfg.admission_slack * eta > deadline:
+            self._shed(SHED_DEADLINE)
+            raise DeadlineExceeded(
+                "deadline infeasible at admission", tenant=tenant,
+                eta_s=eta, deadline_s=deadline - now)
+        if len(self.queue) >= self.cfg.queue_depth:
+            self._shed(SHED_OVERLOAD)
+            raise Overloaded("request queue is at depth",
+                             queue_depth=self.cfg.queue_depth)
+
+        req = Request(id=self._next_request_id, tenant=tenant, kind=kind,
+                      payload=vec, submitted=now, deadline=deadline,
+                      probe=probe)
+        self._next_request_id += 1
+        self.queue.append(req)
+        self.max_queue_seen = max(self.max_queue_seen, len(self.queue))
+        self._count("admitted")
+        obs.gauge("serve.queue_depth", float(len(self.queue)))
+        return req
+
+    def _eta(self, kind: str, now: float) -> float:
+        """Optimistic time-to-answer for a request admitted at ``now``:
+        current chip residency, the backlog drained at full batches,
+        one batch window, and its own batch's service time."""
+        busy = max(0.0, self.chip_free_at - now)
+        drain = (len(self.queue) / self.cfg.max_batch) \
+            * self.service_seconds(kind, self.cfg.max_batch)
+        return (busy + drain + self.cfg.batch_window_s
+                + self.service_seconds(kind, 1))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def pump(self) -> bool:
+        """Run one dispatch decision at the current virtual time.
+
+        Returns True when a batch was dispatched (callers loop until the
+        server goes quiescent).  Safe to call any time; does nothing
+        while the chip is busy or the queue is empty.
+        """
+        now = self.clock.now()
+        self._expire_queued(now)
+        if not self.queue or self.chip_free_at > now:
+            return False
+
+        backlog = len(self.queue)
+        degraded = backlog >= self.cfg.degrade_watermark \
+            * self.cfg.queue_depth
+        target = self.cfg.max_batch
+        if degraded:
+            target = max(1, target // self.cfg.degrade_batch_divisor)
+
+        # EDF: the most urgent request picks the batch's kind, then
+        # same-kind requests fill the ciphertext in deadline order.
+        order = sorted(self.queue, key=lambda r: (r.deadline, r.id))
+        kind = order[0].kind
+        batch = [r for r in order if r.kind == kind][:target]
+
+        if (not degraded and len(batch) < target
+                and now < order[0].submitted + self.cfg.batch_window_s):
+            return False  # hold for the window; next_wake() covers it
+        for r in batch:
+            self.queue.remove(r)
+        obs.gauge("serve.queue_depth", float(len(self.queue)))
+        self._execute_batch(batch, kind, degraded, now)
+        return True
+
+    def _expire_queued(self, now: float) -> None:
+        """Cancel queued requests whose deadline already lapsed."""
+        expired = [r for r in self.queue if r.deadline <= now]
+        for r in expired:
+            self.queue.remove(r)
+            self._finish(Response(request=r, status=EXPIRED,
+                                  error="DeadlineExceeded",
+                                  completed_at=now))
+        if expired:
+            obs.gauge("serve.queue_depth", float(len(self.queue)))
+
+    def next_wake(self, now: float) -> float:
+        """Earliest virtual time strictly after ``now`` at which pump()
+        could act: the chip freeing up, a batch window expiring, or a
+        queued deadline lapsing (expiry sweep).  ``inf`` when only a new
+        arrival could change anything."""
+        if not self.queue:
+            return float("inf")
+        candidates = [
+            self.chip_free_at,
+            min(r.submitted for r in self.queue) + self.cfg.batch_window_s,
+            min(r.deadline for r in self.queue),
+        ]
+        future = [t for t in candidates if t > now]
+        return min(future) if future else float("inf")
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_batch(self, batch: list[Request], kind: str,
+                       degraded: bool, t0: float) -> None:
+        """Encrypt once, run under recovery, retry at serve level."""
+        c = self.cfg
+        occupancy = len(batch)
+        record = BatchRecord(batch_id=len(self.batches), kind=kind,
+                             requests=list(batch), dispatched_at=t0,
+                             degraded=degraded)
+        record.cache_hit = (kind, occupancy) in self._service
+        service_s = self.service_seconds(kind, occupancy)
+        steps = self._steps_for(kind)
+
+        vec, layout = self.packer.pack(batch)
+        master = self.ctx.encrypt_values(self.sk, vec)
+
+        duration = 0.0
+        state = stats = None
+        retries = faults_recovered = 0
+        last_error = "UnrecoverableFaultError"
+        for attempt in range(c.max_retries + 1):
+            run_steps = steps
+            if self.fault_factory is not None:
+                run_steps = self.fault_factory(record.batch_id, attempt,
+                                               steps)
+            duration += service_s
+            try:
+                state, stats = self._run_attempt(run_steps, kind, master)
+                faults_recovered += stats.detections
+                duration += self._overhead_s(stats)
+                if c.verify_responses \
+                        and not self._verify(state, kind, master):
+                    # A fault slipped past every in-executor detector
+                    # (e.g. a limb flip right before a pmult, whose
+                    # fresh reseal launders the corruption).  The clean
+                    # replay is the court of last resort: treat the
+                    # attempt as faulted and retry.  The replay itself
+                    # costs a clean service pass of chip time.
+                    self._count("verify_mismatches")
+                    duration += service_s
+                    state = None
+                    last_error = "FaultDetectedError"
+            except UnrecoverableFaultError:
+                # The attempt's executor stats are lost with the raise;
+                # its chip time (service_s) is already in `duration`.
+                state = None
+                last_error = "UnrecoverableFaultError"
+            if state is not None:
+                break
+            if attempt < c.max_retries:
+                retries += 1
+                self._count("retries")
+                pause = self._backoff(attempt + 1)
+                duration += pause
+                obs.count("serve.backoff_s", pause)
+
+        completed_at = t0 + duration
+        self.chip_free_at = completed_at
+        self.busy_s += duration
+        record.service_s = service_s * (retries + 1)
+        record.overhead_s = duration - record.service_s
+        record.retries = retries
+        for tag, sec in self._tag_seconds(kind, occupancy).items():
+            self.phase_seconds[tag] = \
+                self.phase_seconds.get(tag, 0.0) + sec * (retries + 1)
+
+        self._count("dispatches")
+        if degraded:
+            self._count("degraded_dispatches")
+        if faults_recovered:
+            self._count("faults_recovered", faults_recovered)
+        self.batches.append(record)
+
+        if state is None:
+            # Every retry exhausted: the whole batch fails, typed.
+            for i, req in enumerate(batch):
+                self._finish(Response(
+                    request=req, status=FAILED,
+                    error=last_error,
+                    completed_at=completed_at, retries=retries,
+                    faults_recovered=faults_recovered,
+                    batch_id=record.batch_id, batch_occupancy=occupancy,
+                    chip_seconds=duration / occupancy))
+            return
+
+        decoded = self.ctx.decrypt(self.sk, state["x"])
+        values = self.packer.unpack(decoded, layout)
+        for i, req in enumerate(batch):
+            if completed_at > req.deadline:
+                # Dispatched in time, finished late (retries/backoff):
+                # the answer exists but the deadline contract is missed.
+                self._finish(Response(
+                    request=req, status=EXPIRED, error="DeadlineExceeded",
+                    completed_at=completed_at, retries=retries,
+                    faults_recovered=faults_recovered,
+                    batch_id=record.batch_id, batch_occupancy=occupancy,
+                    chip_seconds=duration / occupancy))
+                continue
+            self._finish(Response(
+                request=req, status=COMPLETED, value=values[i],
+                completed_at=completed_at, retries=retries,
+                faults_recovered=faults_recovered,
+                batch_id=record.batch_id, batch_occupancy=occupancy,
+                chip_seconds=duration / occupancy))
+
+    def _run_attempt(self, run_steps, kind: str, master):
+        """One executor run from the batch's master ciphertext."""
+        c = self.cfg
+        policy = RecoveryPolicy(
+            checkpoint_every=c.checkpoint_every,
+            max_retries=c.executor_retries,
+            max_restarts=c.executor_restarts,
+            backoff_base_s=c.backoff_base_s,
+            backoff_factor=c.backoff_factor,
+            backoff_jitter=c.backoff_jitter)
+        pauses: list[float] = []
+        exe = RecoveringExecutor(
+            self.ctx, policy, store=RingBufferStore(4), cfg=self.chip,
+            step_cycles=self._step_cycles[kind],
+            sleep=pauses.append,  # virtual: charged to batch duration
+            rng=self._rng)
+
+        def evict_sweep():
+            if exe.state is None:
+                return
+            for name, ct in exe.state.items():
+                self.ctx.verify_integrity(ct, f"rf evictee {name!r}")
+
+        integ = guards.IntegrityConfig(verify_hints=True, ntt_checksum=True,
+                                       boundary_hook=evict_sweep)
+        state = {"x": master.copy(), "base": master.copy()}
+        with guards.integrity(integ):
+            return exe.run(run_steps, state)
+
+    def _overhead_s(self, stats) -> float:
+        """Executor resilience cost in (virtual) seconds."""
+        return (stats.overhead_cycles / self.chip.clock_hz
+                + stats.backoff_seconds)
+
+    def _backoff(self, retry: int) -> float:
+        pause = self.cfg.backoff_base_s \
+            * self.cfg.backoff_factor ** max(0, retry - 1)
+        if self.cfg.backoff_jitter:
+            pause *= 1.0 + self.cfg.backoff_jitter \
+                * (2.0 * self._rng.random() - 1.0)
+        return pause
+
+    def _verify(self, state, kind: str, master) -> bool:
+        """Clean replay from the master ciphertext, compared bit-exactly.
+
+        The recovery contract says a replayed program is bit-identical
+        to a fault-free run; this is the serving layer holding it to
+        that - the campaign's zero-wrong-answers check.
+        """
+        exe = RecoveringExecutor(
+            self.ctx, RecoveryPolicy(checkpoint_every=len(self._steps[kind])
+                                     + 1),
+            store=RingBufferStore(2), cfg=self.chip)
+        clean = {"x": master.copy(), "base": master.copy()}
+        with obs.paused():
+            clean, _ = exe.run(self._steps[kind], clean)
+        got, want = state["x"], clean["x"]
+        return (np.array_equal(got.c0.data, want.c0.data)
+                and np.array_equal(got.c1.data, want.c1.data))
+
+    def _finish(self, resp: Response) -> None:
+        self.responses.append(resp)
+        self._count(resp.status if resp.status != SHED else "shed")
+
+    # -- end-of-run summary -------------------------------------------------
+
+    def utilization(self, elapsed_s: float) -> float:
+        return self.busy_s / elapsed_s if elapsed_s > 0 else 0.0
+
+    def latencies(self) -> list[float]:
+        return sorted(r.latency_s for r in self.responses if r.ok)

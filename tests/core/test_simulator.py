@@ -203,3 +203,47 @@ def test_stall_cause_split_is_consistent():
     res = simulate(tiny_program(rotations=30, distinct_hints=30), CFG)
     assert res.stall_cycles > 0          # memory-bound: compute waits
     assert 0 <= res.prefetch_window_stall_cycles <= res.stall_cycles
+
+
+def test_tag_cycles_telescope_to_total():
+    """Per-tag critical-path attribution partitions the total exactly:
+    every cycle of critical-path advance is charged to exactly one
+    phase tag, so the tag shares sum to SimResult.cycles."""
+    b = FheBuilder("tagged", degree=65536, max_level=20)
+    b.phase("load")
+    x = b.input("x", 20)
+    b.phase("spin")
+    for i in range(6):
+        x = b.rotate(x, 1, hint_id=f"h{i % 2}")
+    b.phase("emit")
+    b.output(x)
+    res = simulate(b.build(), CFG)
+    assert res.tag_cycles
+    assert sum(res.tag_cycles.values()) == pytest.approx(res.cycles)
+    assert set(res.tag_cycles) <= {"load", "spin", "emit"}
+    assert res.tag_cycles.get("spin", 0) > 0
+
+
+def test_tag_cycles_scale_with_occupancy_repeat():
+    """A pmult with repeat=k streams k plaintexts: its phase's share
+    grows with k while untouched phases keep their cost - the serving
+    layer's per-request attribution depends on this."""
+    def prog(repeat):
+        b = FheBuilder("occ", degree=65536, max_level=20)
+        b.phase("in")
+        x = b.input("x", 20)
+        b.phase("score")
+        x = b.pmult(x, "w", repeat=repeat)
+        b.phase("reduce")
+        x = b.rotate(x, 1, hint_id="h0")
+        b.output(x)
+        return b.build()
+
+    lean = simulate(prog(1), CFG)
+    full = simulate(prog(8), CFG)
+    assert full.tag_cycles["score"] > lean.tag_cycles["score"]
+    # Attribution is critical-path advance, not isolated op cost: the
+    # bigger score phase's streaming can HIDE part of the later hint
+    # load, so reduce's share may shrink with occupancy - never grow.
+    assert full.tag_cycles["reduce"] <= lean.tag_cycles["reduce"] + 1e-9
+    assert full.cycles > lean.cycles

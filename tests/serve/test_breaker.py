@@ -1,0 +1,84 @@
+"""Circuit breaker state machine: transitions, probes, isolation."""
+
+import pytest
+
+from repro.reliability.errors import ParameterError
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def test_closed_allows_and_counts_nothing():
+    br = CircuitBreaker("t0", threshold=3, cooldown_s=1.0)
+    assert br.state == CLOSED
+    for t in range(5):
+        assert br.allow(float(t))
+    assert br.stats.rejections == 0
+
+
+def test_opens_after_threshold_consecutive_failures():
+    br = CircuitBreaker("t0", threshold=3, cooldown_s=1.0)
+    assert not br.record_failure(0.0)
+    assert not br.record_failure(0.1)
+    assert br.state == CLOSED
+    assert br.record_failure(0.2)       # third consecutive: opens
+    assert br.state == OPEN
+    assert not br.allow(0.5)            # still cooling down
+    assert br.stats.rejections == 1
+
+
+def test_success_resets_the_consecutive_count():
+    br = CircuitBreaker("t0", threshold=3, cooldown_s=1.0)
+    br.record_failure(0.0)
+    br.record_failure(0.1)
+    br.record_success()                 # streak broken
+    br.record_failure(0.2)
+    br.record_failure(0.3)
+    assert br.state == CLOSED           # 2 < threshold again
+
+
+def test_half_open_admits_exactly_one_probe():
+    br = CircuitBreaker("t0", threshold=1, cooldown_s=1.0)
+    br.record_failure(0.0)
+    assert br.state == OPEN
+    assert not br.allow(0.5)            # before cooldown
+    assert br.allow(1.5)                # cooldown elapsed: the probe
+    assert br.state == HALF_OPEN and br.probing
+    assert not br.allow(1.6)            # second request while probing
+    assert br.stats.probes == 1
+
+
+def test_probe_success_closes_probe_failure_reopens():
+    br = CircuitBreaker("t0", threshold=1, cooldown_s=1.0)
+    br.record_failure(0.0)
+    assert br.allow(1.5)
+    br.record_success()
+    assert br.state == CLOSED
+
+    br.record_failure(2.0)              # threshold 1: straight open
+    assert br.allow(3.5)                # probe again
+    assert br.record_failure(3.6)       # probe fails: reopen
+    assert br.state == OPEN
+    assert br.opened_at == 3.6          # fresh cooldown from the failure
+    assert not br.allow(4.5)
+    assert br.allow(4.7)
+
+
+def test_next_probe_at():
+    br = CircuitBreaker("t0", threshold=1, cooldown_s=2.0)
+    assert br.next_probe_at() == float("inf")
+    br.record_failure(1.0)
+    assert br.next_probe_at() == 3.0
+
+
+def test_breakers_are_per_tenant_state():
+    a = CircuitBreaker("a", threshold=1, cooldown_s=1.0)
+    b = CircuitBreaker("b", threshold=1, cooldown_s=1.0)
+    a.record_failure(0.0)
+    assert a.state == OPEN and b.state == CLOSED
+    assert b.allow(0.1)
+
+
+def test_rejects_nonsense_parameters():
+    with pytest.raises(ParameterError):
+        CircuitBreaker("t", threshold=0)
+    with pytest.raises(ParameterError):
+        CircuitBreaker("t", cooldown_s=-1.0)

@@ -1,0 +1,187 @@
+"""The serving campaign end to end: determinism, invariants, faults.
+
+These run a scaled-down campaign (fewer requests than the CLI default)
+so the whole file stays in unit-test budget; the full 500-request
+campaign runs in CI's serve smoke job against the committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs import collector as obs
+from repro.serve import ServeConfig
+from repro.serve.clock import VirtualClock
+from repro.serve.loadgen import (
+    STUBBORN,
+    LoadSpec,
+    _FaultPlanner,
+    check_against_baseline,
+    run_campaign,
+)
+from repro.serve.request import COMPLETED
+from repro.serve.server import Server
+
+BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def small_spec(**kw):
+    base = dict(requests=60, qps=120000.0, seed=5)
+    base.update(kw)
+    return LoadSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_campaign(small_spec(),
+                        ServeConfig(seed=5, verify_responses=True))
+
+
+def test_campaign_invariants_hold(result):
+    # run_campaign() already reconciled (it asserts); spot-check the
+    # headline numbers here so a silent reconcile regression is loud.
+    assert result.offered == 60
+    assert result.offered == result.admitted + result.shed_total
+    assert result.admitted == (result.completed + result.expired
+                               + result.failed)
+    assert result.wrong_answers == 0
+    assert result.max_queue_seen <= result.cfg.queue_depth
+    assert result.completed > 0
+
+
+def test_campaign_exercises_faults_and_recovers(result):
+    assert result.injected_total > 0
+    # Every injected fault either recovered (in-executor or via a
+    # serve-level retry) or is accounted as a typed failure.
+    assert result.failed == 0 or result.retries > 0
+    assert result.faults_recovered + result.retries > 0
+
+
+def test_campaign_is_bit_reproducible_from_its_seed():
+    a = run_campaign(small_spec(), ServeConfig(seed=5,
+                                               verify_responses=True))
+    b = run_campaign(small_spec(), ServeConfig(seed=5,
+                                               verify_responses=True))
+    assert a.to_json() == b.to_json()
+    assert a.p50_ms == b.p50_ms and a.p99_ms == b.p99_ms
+
+
+def test_different_seed_changes_the_run():
+    a = run_campaign(small_spec(), ServeConfig(seed=5,
+                                               verify_responses=True))
+    b = run_campaign(small_spec(seed=6), ServeConfig(seed=6,
+                                                     verify_responses=True))
+    assert a.to_json() != b.to_json()
+
+
+def test_counters_match_tallies_exactly(result):
+    for key in ("offered", "admitted", "completed", "retries"):
+        assert result.counters.get(f"serve.{key}", 0.0) \
+            == getattr(result, key)
+
+
+def test_baseline_check_detects_drift(result):
+    baseline = json.loads(BASELINE.read_text())
+    # The committed baseline is the CLI-default campaign, not this
+    # scaled-down one - so checking against it must report drift.
+    problems = check_against_baseline(result, BASELINE)
+    assert problems
+    # And a result checked against its own emitted baseline passes.
+    own = Path(str(BASELINE) + ".tmp")
+    try:
+        own.write_text(json.dumps(result.to_json()))
+        assert check_against_baseline(result, own) == []
+    finally:
+        own.unlink()
+    assert baseline["wrong_answers"] == 0
+    assert baseline["failed"] == 0
+
+
+def test_stubborn_faults_defeat_executor_but_not_serve():
+    """A STUBBORN fault exhausts in-executor recovery; the serve-level
+    retry (fresh executor, clean steps) then completes the batch."""
+    spec = small_spec(requests=24, fault_rate=1.0, stubborn_fraction=1.0,
+                      poison_tenant=None, qps=1000.0)
+    res = run_campaign(spec, ServeConfig(seed=5, verify_responses=True))
+    assert res.retries > 0              # executor was defeated
+    assert res.failed == 0              # serve retries absorbed it all
+    assert res.wrong_answers == 0
+    assert STUBBORN > ServeConfig().executor_retries \
+        + ServeConfig().executor_restarts
+
+
+def test_fault_planner_is_deterministic():
+    from repro.reliability.faults import FaultInjector
+    spec = small_spec(fault_rate=0.5)
+    a = _FaultPlanner(spec, FaultInjector(seed=1))
+    b = _FaultPlanner(spec, FaultInjector(seed=1))
+    steps = [(f"reduce/rot{i}", lambda c, s: None) for i in range(6)]
+    for batch_id in range(20):
+        a(batch_id, 0, steps)
+        b(batch_id, 0, steps)
+    assert a.plans == b.plans
+
+
+def test_campaign_with_external_collector_keeps_it_open():
+    collector = obs.enable()
+    try:
+        run_campaign(small_spec(requests=10, fault_rate=0.0,
+                                poison_tenant=None),
+                     ServeConfig(seed=5))
+        assert obs.is_enabled()
+        assert collector.counters.get("serve.offered") == 10.0
+    finally:
+        obs.disable()
+
+
+def test_virtual_clock_only_no_wallclock_in_serve():
+    """The whole serve package must run on the injectable clock: any
+    time.time()/perf_counter/sleep import would break determinism."""
+    import ast
+
+    import repro.serve as pkg
+    forbidden = {"time", "sleep", "perf_counter", "monotonic",
+                 "now", "utcnow"}
+    clock_owners = {"time", "datetime", "date"}
+    root = Path(pkg.__file__).parent
+    for path in root.glob("*.py"):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (isinstance(fn, ast.Attribute)
+                    and fn.attr in forbidden
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id in clock_owners):
+                raise AssertionError(
+                    f"{path.name}:{node.lineno} calls "
+                    f"{fn.value.id}.{fn.attr}() - serve code must use "
+                    "the injectable VirtualClock")
+
+
+def test_backoff_is_exponential_with_bounded_jitter():
+    cfg = ServeConfig(seed=5)
+    srv = Server(cfg, clock=VirtualClock())
+    pauses = [srv._backoff(k) for k in range(1, 4)]
+    for k, pause in enumerate(pauses, start=1):
+        nominal = cfg.backoff_base_s * cfg.backoff_factor ** (k - 1)
+        assert nominal * (1 - cfg.backoff_jitter) <= pause \
+            <= nominal * (1 + cfg.backoff_jitter)
+    # Exponential growth dominates the jitter band.
+    assert pauses[2] > pauses[0]
+
+
+def test_degradation_halves_batches_under_backlog():
+    cfg = ServeConfig(seed=5, queue_depth=8, degrade_watermark=0.5)
+    srv = Server(cfg)
+    for i in range(8):                   # at the watermark: degraded
+        srv.submit(f"t{i}", "logreg", np.zeros(16))
+    assert srv.pump()
+    assert srv.batches[0].degraded
+    assert srv.batches[0].requests
+    assert len(srv.batches[0].requests) \
+        == cfg.max_batch // cfg.degrade_batch_divisor
+    assert srv.tally["degraded_dispatches"] == 1

@@ -168,3 +168,19 @@ def test_compiler_counters_via_ordering():
              + c.counters.get("compiler.reorder.program_order_picks", 0))
     assert picks == len(program.ops)
     assert "compiler.order_for_reuse" in c.span_totals()
+
+
+def test_gauges_last_write_wins_and_export():
+    from repro.obs import export
+
+    with obs.collecting() as c:
+        obs.gauge("serve.queue_depth", 3.0)
+        obs.gauge("serve.queue_depth", 7.0)   # overwrites, not accumulates
+        obs.gauge("serve.qps", 1234.5)
+    assert c.gauges == {"serve.queue_depth": 7.0, "serve.qps": 1234.5}
+    report = export.top_report(c)
+    assert "Gauges" in report and "serve.qps" in report
+    csv = export.gauges_csv(c)
+    assert "serve.queue_depth,7" in csv
+    # Disabled: gauge() is a no-op, like count().
+    obs.gauge("ignored", 1.0)
