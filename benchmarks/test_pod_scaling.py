@@ -1,0 +1,62 @@
+"""Pod throughput scaling: 1/2/4/8 chips, data vs model parallel.
+
+Not a paper table: the paper's CraterLake is one chip.  This is the
+regression artifact for the pod layer (`repro.pod`, docs/POD.md): per
+deep benchmark and pod size, steady-state throughput speedup over a
+single unsharded chip, clean and with one chip fail-stopped (N-1
+degraded operation), plus the per-batch interconnect volume.
+
+Acceptance criteria (shape, not absolute numbers):
+
+* data-parallel scales near-linearly - its only tax is the output
+  all-reduce, which is tiny next to a deep benchmark's compute;
+* model-parallel never beats data-parallel at equal chip count (the
+  pipeline is balance-limited and pays cut traffic), but still scales;
+* N-1 degraded data-parallel throughput lands between the (K-1)- and
+  K-chip clean points - losing a chip costs one chip's worth, never
+  more; model-parallel stays within the surviving-chip fraction of its
+  own clean point (its pipeline balance is non-monotonic in K);
+* everything is deterministic: the table only moves when the
+  partitioner, the interconnect model, or the simulator changes.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.pod.scaling import CHIP_SWEEP, scaling_rows, scaling_table
+from repro.workloads import DEEP_BENCHMARKS
+
+
+def test_pod_scaling_table(benchmark):
+    rows = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
+    emit("pod_scaling", scaling_table(rows))
+
+    by_key = {(r["benchmark"], r["chips"], r["strategy"]): r for r in rows}
+    for name in DEEP_BENCHMARKS:
+        for chips in CHIP_SWEEP:
+            data = by_key[(name, chips, "data")]
+            model = by_key[(name, chips, "model")]
+            # Data-parallel: near-linear (>= 85% efficiency).
+            assert data["clean_speedup"] >= 0.85 * chips, (name, chips)
+            assert data["clean_speedup"] <= chips * (1 + 1e-9)
+            # Model-parallel scales but never beats mirrored replicas.
+            assert model["clean_speedup"] <= data["clean_speedup"] + 1e-9
+            if chips > 1:
+                assert model["clean_speedup"] > 1.0, (name, chips)
+                # N-1 data-parallel: between the (K-1)- and K-chip
+                # clean points - losing a chip costs one chip's worth.
+                smaller = by_key[(name, chips // 2, "data")]
+                assert data["degraded_speedup"] < data["clean_speedup"]
+                assert data["degraded_speedup"] >= 0.9 \
+                    * smaller["clean_speedup"], (name, chips)
+                # N-1 model-parallel: the pipeline is balance-limited
+                # and non-monotonic in K (packed_bootstrap's big hoist
+                # groups cap the cut), so anchor to its own clean point
+                # scaled by the surviving-chip fraction.
+                assert model["degraded_speedup"] < model["clean_speedup"]
+                assert model["degraded_speedup"] >= 0.8 \
+                    * model["clean_speedup"] * (chips - 1) / chips, \
+                    (name, chips)
+                # The interconnect is busier in model-parallel cuts.
+                assert model["link_words"] >= data["link_words"], name

@@ -66,7 +66,7 @@ from repro.reliability.errors import ArtifactError
 #: bump (old artifacts must not deserialize into wrong programs).
 #: Loaders reject any other version - a stale artifact is a miss, not a
 #: best-effort parse.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 _KIND_CODE = {kind: i for i, kind in enumerate(KINDS)}
 
@@ -80,6 +80,12 @@ DEFAULT_FLAGS = {
     "pressure": True,   # repro.compiler.ordering.order_for_pressure
     "window": 32,       # pressure scheduler's pull-forward window
     "min_group": 2,     # smallest rotation group hoisting considers
+    "pod": "",          # PodConfig.descriptor() when compiling a shard
+    #                     ("" = single chip).  A shard of resnet20 cut
+    #                     for a 4-chip pod is a *different program* from
+    #                     the whole benchmark; the descriptor keeps
+    #                     their artifacts from aliasing even when a
+    #                     partitioner change produces identical IR.
 }
 
 
@@ -97,6 +103,7 @@ def normalize_flags(flags: dict | None = None) -> dict:
     merged["pressure"] = bool(merged["pressure"])
     merged["window"] = int(merged["window"])
     merged["min_group"] = int(merged["min_group"])
+    merged["pod"] = str(merged["pod"])
     return merged
 
 
@@ -609,7 +616,8 @@ def resolve_cache(cache) -> CompileCache | None:
 def compile_program(program: Program, cfg: ChipConfig | None = None, *,
                     hoist: bool = True, reuse: bool = False,
                     pressure: bool = True, window: int = 32,
-                    min_group: int = 2, cache=None) -> Program:
+                    min_group: int = 2, pod: str = "",
+                    cache=None) -> Program:
     """Lower ``program`` for ``cfg`` through the full pass pipeline,
     optionally through a compile cache.
 
@@ -621,6 +629,10 @@ def compile_program(program: Program, cfg: ChipConfig | None = None, *,
     pipeline is deterministic, which is what makes a cached artifact a
     *bit-identical* substitute for recompiling.
 
+    ``pod`` namespaces the artifact with a pod-partition descriptor
+    (``PodConfig.descriptor()``, e.g. ``"4xmodel"``) when the program
+    is one shard of a pod cut; single-chip callers leave it ``""``.
+
     ``cache`` accepts anything :func:`resolve_cache` does.  On a hit
     the cached op stream is returned under the caller's program
     metadata (name/description are display fields, excluded from the
@@ -630,7 +642,7 @@ def compile_program(program: Program, cfg: ChipConfig | None = None, *,
     cfg = cfg or ChipConfig()
     flags = normalize_flags({"hoist": hoist, "reuse": reuse,
                              "pressure": pressure, "window": window,
-                             "min_group": min_group})
+                             "min_group": min_group, "pod": pod})
     store = resolve_cache(cache)
     fp = None
     if store is not None:

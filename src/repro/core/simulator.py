@@ -226,8 +226,23 @@ def _fetch_plan(op, cost: OpCost | None, n: int) -> list[tuple[str, float, str]]
 
 
 def simulate(program: Program, cfg: ChipConfig,
-             checkpoint_every: int = 0, cache=None) -> SimResult:
+             checkpoint_every: int = 0, cache=None,
+             extra_streams: dict[str, tuple[float, float]] | None = None,
+             chip: int | None = None) -> SimResult:
     """Run ``program`` on machine ``cfg``; see module docstring.
+
+    ``extra_streams`` charges additional off-chip transfers this chip
+    owes beyond the program's own HBM traffic - the pod layer
+    (`repro.pod`) uses it for interconnect sends/receives.  Each entry
+    maps a stream name to ``(words, words_per_cycle)``; the words land
+    under that name in ``traffic_words`` and advance the memory clock at
+    the stream's own rate (a pod link is slower than HBM), so link-bound
+    shards show up as memory-bound in the same units as Fig. 10a.
+
+    ``chip`` tags every emitted :class:`~repro.obs.collector.OpEvent`
+    with a pod chip index, giving each chip its own process row in the
+    Chrome-trace export; ``None`` (the default) keeps the single-chip
+    layout.
 
     ``checkpoint_every`` > 0 models checkpointed execution (the recovery
     layer's schedule-boundary snapshots, `repro.reliability.recovery`):
@@ -384,6 +399,7 @@ def simulate(program: Program, cfg: ChipConfig,
             mem_start=mem_before, mem_cycles=mem_clock - mem_before,
             stall_cycles=stall, mem_words=mem_words, evictions=evicted[0],
             fu_cycles=dict(fu_cycles) if fu_cycles else {},
+            chip=chip,
         ))
         tr.count("sim.ops")
         tr.count(f"sim.ops.{op.kind}")
@@ -562,6 +578,19 @@ def simulate(program: Program, cfg: ChipConfig,
                      total_stall - total_window_stall)
         if total_window_stall:
             tr.count("sim.prefetch_window_stalls", total_window_stall)
+
+    # Interconnect (or other externally-owed) streams: serialized after
+    # the program's own memory traffic at each stream's own rate.  The
+    # pod layer charges a shard's link sends/receives here so a chip's
+    # cycles, traffic split and bandwidth utilization all see them.
+    if extra_streams:
+        for stream, (words, stream_wpc) in extra_streams.items():
+            if words <= 0:
+                continue
+            traffic[stream] = traffic.get(stream, 0.0) + words
+            mem_clock += words / (stream_wpc or words_per_cycle)
+            if tr is not None:
+                tr.count(f"sim.stream.{stream}", words)
 
     total_cycles = max(comp_clock, mem_clock)
     return SimResult(

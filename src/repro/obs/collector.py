@@ -60,6 +60,10 @@ class OpEvent:
     # the compute track into one lane per class from this map; empty for
     # INPUT/OUTPUT ops, which occupy no FU.
     fu_cycles: dict[str, float] = field(default_factory=dict)
+    # Pod chip index this op ran on (`repro.pod`); None for single-chip
+    # runs.  The Chrome-trace exporter gives each chip its own process
+    # row so a pod run reads as K parallel machines.
+    chip: int | None = None
 
 
 @dataclass

@@ -35,6 +35,7 @@ FU_TID = 0           # aggregate compute lane (ops with no per-class data)
 HBM_TID = 1          # memory-stream lane
 HOST_PID = 1         # wall-clock spans (timestamps in host time)
 HOST_TID = 0
+POD_PID_BASE = 10    # pod chip k renders as process POD_PID_BASE + k
 
 # Per-FU-class compute lanes, populated from ``OpEvent.fu_cycles``.  Lane
 # order mirrors Fig. 5's FU mix; tids 0/1 stay reserved for the aggregate
@@ -155,9 +156,21 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
     meta(SIM_PID, None, "simulated machine", "process_name")
     meta(SIM_PID, FU_TID, "FU lanes (compute)", "thread_name")
     meta(SIM_PID, HBM_TID, "HBM (memory stream)", "thread_name")
-    named_classes: set[str] = set()
+    named_lanes: set[tuple[int, int]] = set()
+    named_chips: set[int] = set()
 
     for e in collector.op_events:
+        # Pod runs lane each chip as its own process row; single-chip
+        # events (chip is None) keep the legacy SIM_PID layout exactly.
+        if e.chip is None:
+            pid = SIM_PID
+        else:
+            pid = POD_PID_BASE + e.chip
+            if e.chip not in named_chips:
+                named_chips.add(e.chip)
+                meta(pid, None, f"pod chip {e.chip}", "process_name")
+                meta(pid, FU_TID, "FU lanes (compute)", "thread_name")
+                meta(pid, HBM_TID, "HBM (memory stream)", "thread_name")
         label = f"{e.kind} {e.result}"
         args = {
             "op_index": e.index, "level": e.level, "phase": e.tag,
@@ -165,6 +178,8 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
             "stall_cycles": e.stall_cycles,
             "mem_words": e.mem_words, "evictions": e.evictions,
         }
+        if e.chip is not None:
+            args["chip"] = e.chip
         if e.compute_cycles > 0:
             per_class = {
                 cls: cyc for cls, cyc in (e.fu_cycles or {}).items()
@@ -176,13 +191,13 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
                 # slices start at compute_start (the op's overall span is
                 # the max, which already drives the clock model).
                 for cls, cyc in per_class.items():
-                    if cls not in named_classes:
-                        named_classes.add(cls)
-                        meta(SIM_PID, FU_CLASS_TIDS[cls],
+                    if (pid, FU_CLASS_TIDS[cls]) not in named_lanes:
+                        named_lanes.add((pid, FU_CLASS_TIDS[cls]))
+                        meta(pid, FU_CLASS_TIDS[cls],
                              f"FU {cls}", "thread_name")
                     events.append({
                         "name": label, "cat": e.kind or "op", "ph": "X",
-                        "pid": SIM_PID, "tid": FU_CLASS_TIDS[cls],
+                        "pid": pid, "tid": FU_CLASS_TIDS[cls],
                         "ts": e.compute_start * to_us,
                         "dur": cyc * to_us,
                         "args": {**args, "fu_class": cls},
@@ -190,7 +205,7 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
             else:
                 events.append({
                     "name": label, "cat": e.kind or "op", "ph": "X",
-                    "pid": SIM_PID, "tid": FU_TID,
+                    "pid": pid, "tid": FU_TID,
                     "ts": e.compute_start * to_us,
                     "dur": e.compute_cycles * to_us,
                     "args": args,
@@ -198,7 +213,7 @@ def chrome_trace(collector: Collector, clock_hz: float | None = None) -> dict:
         if e.mem_cycles > 0:
             events.append({
                 "name": f"mem {label}", "cat": "hbm", "ph": "X",
-                "pid": SIM_PID, "tid": HBM_TID,
+                "pid": pid, "tid": HBM_TID,
                 "ts": e.mem_start * to_us,
                 "dur": e.mem_cycles * to_us,
                 "args": args,

@@ -1,0 +1,336 @@
+"""Seeded pod fault campaign: chip fail-stop + link corruption.
+
+Mirrors the reliability and serving campaigns: one seed drives
+everything, each trial arms exactly one fault (alternating the two pod
+failure domains), and the gates are absolute -
+
+* **100% detection**: every injected chip loss is observed at the
+  lock-step barrier and every injected link corruption is caught by the
+  receiver's seal check;
+* **0 wrong answers**: every trial's final ciphertexts are bit-identical
+  to a fault-free reference execution (recovery is replay, replay is
+  deterministic);
+* **0 unrecovered**: no survivable fault escalates out of the executor.
+
+Stubborn link faults (every fourth link trial) corrupt consecutive
+retransmits of the same transfer - still inside the pod's
+``link_retries`` budget, so the executor absorbs them; the campaign
+reports them separately because they exercise the backoff path.
+
+Run it from the command line::
+
+    PYTHONPATH=src python -m repro.pod --campaign
+    PYTHONPATH=src python -m repro.pod --campaign --check
+
+``--check`` regression-gates the result against
+``tests/pod/baseline.json`` exactly like the serving campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.pod.config import PodConfig
+from repro.pod.coordinator import PodExecutor, Transfer
+from repro.reliability.errors import ChipFailure, InterconnectError
+from repro.reliability.faults import CHIP, LINK, FaultInjector
+
+
+@dataclass
+class PodSiteStats:
+    injected: int = 0
+    detected: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.injected if self.injected else 0.0
+
+
+@dataclass
+class PodCampaignResult:
+    """One pod campaign's aggregate outcome (JSON-stable)."""
+
+    seed: int
+    events: int                  # faults actually injected
+    chips: int
+    rounds: int
+    trials: int
+    clean_trials: int
+    sites: dict[str, PodSiteStats]
+    distinct_links: int          # links that saw >= 1 corruption
+    distinct_chips_failed: int
+    false_positives: int
+    wrong_answers: int
+    unrecovered: int
+    stubborn_faults: int
+    migrations: int
+    replayed_steps: int
+    retransmits: int
+    backoff_s: float
+    checkpoints: int
+    total_seconds: float
+
+    def detection_rate(self, site: str) -> float:
+        return self.sites[site].detection_rate
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed, "events": self.events, "chips": self.chips,
+            "rounds": self.rounds, "trials": self.trials,
+            "clean_trials": self.clean_trials,
+            "sites": {
+                site: {"injected": s.injected, "detected": s.detected}
+                for site, s in self.sites.items()
+            },
+            "distinct_links": self.distinct_links,
+            "distinct_chips_failed": self.distinct_chips_failed,
+            "false_positives": self.false_positives,
+            "wrong_answers": self.wrong_answers,
+            "unrecovered": self.unrecovered,
+            "stubborn_faults": self.stubborn_faults,
+            "migrations": self.migrations,
+            "replayed_steps": self.replayed_steps,
+            "retransmits": self.retransmits,
+            "checkpoints": self.checkpoints,
+        }
+
+    def report(self) -> str:
+        from repro.analysis.report import format_table
+
+        rows = [
+            [site, s.injected, s.detected, f"{s.detection_rate:.1%}"]
+            for site, s in self.sites.items()
+        ]
+        table = format_table(
+            ["site", "injected", "detected", "rate"], rows,
+            title=f"Pod fault campaign (seed={self.seed}, "
+                  f"{self.chips} chips)",
+        )
+        lines = [
+            table,
+            "",
+            f"trials: {self.trials} faulted + {self.clean_trials} clean "
+            f"({self.events} faults injected)",
+            f"coverage: {self.distinct_links} distinct links corrupted, "
+            f"{self.distinct_chips_failed} distinct chips fail-stopped, "
+            f"{self.stubborn_faults} stubborn (multi-retransmit) faults",
+            f"recovery: {self.migrations} shard migrations, "
+            f"{self.replayed_steps} steps replayed, "
+            f"{self.retransmits} retransmits "
+            f"({self.backoff_s * 1e3:.2f} ms virtual backoff), "
+            f"{self.checkpoints} pod checkpoints",
+            f"verdict: {self.wrong_answers} wrong answers, "
+            f"{self.unrecovered} unrecovered, "
+            f"{self.false_positives} clean-run false positives "
+            f"({self.total_seconds:.1f}s wall)",
+        ]
+        return "\n".join(lines)
+
+
+def _make_step(c: int, r: int, rot):
+    """Round ``r`` for chip ``c``: rotate on even rounds, double on odd,
+    then fold in the previous boundary's received value if one landed."""
+
+    def step(ctx, st):
+        v = st[f"v{c}"]
+        v = ctx.rotate(v, 1, rot) if r % 2 == 0 else ctx.add(v, v)
+        rx = st.get(f"rx_r{r - 1}")
+        if rx is not None:
+            v = ctx.add(v, rx)
+        st[f"v{c}"] = v
+
+    return step
+
+
+def _build_plan(chips: int, rounds: int, rot):
+    plans = {
+        c: [(f"chip{c}.r{r}", _make_step(c, r, rot)) for r in range(rounds)]
+        for c in range(chips)
+    }
+    # Two transfers per round boundary on rotating links, so every ring
+    # link carries (and can corrupt) traffic over a campaign.
+    transfers = {}
+    for r in range(rounds - 1):
+        a = r % chips
+        b = (r + 2) % chips
+        transfers[r] = [
+            Transfer(src=a, dst=(a + 1) % chips, name=f"v{a}",
+                     rename=f"rx_r{r}"),
+            Transfer(src=b, dst=(b + 1) % chips, name=f"v{b}",
+                     rename=f"rx_r{r}"),
+        ]
+    return plans, transfers
+
+
+def _states_equal(got: dict[int, dict], want: dict[int, dict],
+                  chips: int) -> bool:
+    """Bit-exact comparison of every chip's headline value."""
+    for c in range(chips):
+        a = got[c][f"v{c}"]
+        b = want[c][f"v{c}"]
+        if not (np.array_equal(a.c0.data, b.c0.data)
+                and np.array_equal(a.c1.data, b.c1.data)
+                and a.scale == b.scale):
+            return False
+    return True
+
+
+def run_pod_campaign(seed: int = 2022, events: int = 520, chips: int = 4,
+                     rounds: int = 4, degree: int = 64,
+                     max_level: int = 4,
+                     clean_trials: int = 5) -> PodCampaignResult:
+    """Inject >= ``events`` seeded pod faults and measure the outcome.
+
+    Every trial executes the same K-chip plan (rotate/double rounds with
+    ring transfers at each boundary) from the same encrypted inputs,
+    arms exactly one fault - chip fail-stop on even trials, link
+    corruption on odd (every fourth link trial stubborn: the corruption
+    persists across retransmits) - and compares the final ciphertexts
+    bit-for-bit against a fault-free reference.  Driven entirely by
+    ``seed``: reruns are identical.
+    """
+    from repro.fhe.ckks import CkksContext, CkksParams
+    from repro.reliability import guards
+
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    params = CkksParams(degree=degree, max_level=max_level, digits=1,
+                        secret_hamming=max(8, degree // 16), seed=seed)
+    ctx = CkksContext(params,
+                      policy=guards.ReliabilityPolicy(checksums=True))
+    sk = ctx.keygen()
+    rot = ctx.rotation_hint(sk, 1)
+    pod = PodConfig(chips=chips, seed=seed)
+
+    initial = {}
+    for c in range(chips):
+        vals = 0.5 * rng.standard_normal(params.slots)
+        initial[c] = {f"v{c}": ctx.seal(ctx.encrypt_values(sk, vals))}
+    plans, transfers = _build_plan(chips, rounds, rot)
+
+    def fresh_executor(injector=None) -> PodExecutor:
+        return PodExecutor(ctx, pod, plans, initial, transfers=transfers,
+                           injector=injector)
+
+    # -- reference + clean phase: no injector, outputs must agree -----------
+    reference = fresh_executor().run()
+    false_positives = 0
+    for _ in range(clean_trials):
+        ex = fresh_executor()
+        final = ex.run()
+        if ex.stats.chip_failures or ex.stats.link_faults_detected \
+                or not _states_equal(final, reference, chips):
+            false_positives += 1
+
+    # Opportunity counts in a clean run, for arming skips.
+    chip_opps = chips * rounds                   # one fires() per step
+    link_opps = sum(len(ts) for ts in transfers.values())
+
+    sites = {CHIP: PodSiteStats(), LINK: PodSiteStats()}
+    faulted_links: set[tuple[int, int]] = set()
+    failed_chips: set[int] = set()
+    wrong = unrecovered = stubborn = 0
+    migrations = replayed = retransmits = checkpoints = 0
+    backoff_s = 0.0
+    injector = FaultInjector(seed=seed + 1)
+    trials = 0
+    link_trials = 0
+
+    while sites[CHIP].injected + sites[LINK].injected < events:
+        site = CHIP if trials % 2 == 0 else LINK
+        trials += 1
+        count = 1
+        if site == CHIP:
+            injector.arm(CHIP, skip=int(rng.integers(chip_opps)))
+        else:
+            link_trials += 1
+            if link_trials % 4 == 0:
+                count = 2  # stubborn: survives the first retransmit
+                stubborn += 1
+            injector.arm(LINK, skip=int(rng.integers(link_opps)),
+                         count=count)
+
+        before = injector.injected[site]
+        ex = fresh_executor(injector)
+        try:
+            final = ex.run()
+        except (ChipFailure, InterconnectError):
+            final = None
+            unrecovered += 1
+        # An arm whose skip outran the run's opportunities never fired;
+        # that trial injected nothing and counts for nothing.
+        unfired = injector._armed.pop(site, None) is not None
+        injected = injector.injected[site] - before
+        sites[site].injected += injected
+        if site == CHIP:
+            sites[site].detected += min(injected, ex.stats.chip_failures)
+            failed_chips |= ex.dead
+        else:
+            sites[site].detected += min(injected,
+                                        ex.stats.link_faults_detected)
+            faulted_links |= ex.stats.faulted_links
+            if unfired and count == 2:
+                stubborn -= 1  # armed burst never (fully) exercised
+        migrations += ex.stats.migrations
+        replayed += ex.stats.replayed_steps
+        retransmits += ex.stats.retransmits
+        backoff_s += ex.stats.backoff_s
+        checkpoints += ex.stats.checkpoints
+        if final is not None and injected \
+                and not _states_equal(final, reference, chips):
+            wrong += 1
+
+    return PodCampaignResult(
+        seed=seed, events=sites[CHIP].injected + sites[LINK].injected,
+        chips=chips, rounds=rounds, trials=trials,
+        clean_trials=clean_trials, sites=sites,
+        distinct_links=len(faulted_links),
+        distinct_chips_failed=len(failed_chips),
+        false_positives=false_positives, wrong_answers=wrong,
+        unrecovered=unrecovered, stubborn_faults=stubborn,
+        migrations=migrations, replayed_steps=replayed,
+        retransmits=retransmits, backoff_s=backoff_s,
+        checkpoints=checkpoints,
+        total_seconds=time.perf_counter() - t0,
+    )
+
+
+# -- regression gate ---------------------------------------------------------
+
+_EXACT_FIELDS = ("events", "chips", "rounds", "trials", "clean_trials",
+                 "distinct_links", "distinct_chips_failed",
+                 "false_positives", "wrong_answers", "unrecovered",
+                 "stubborn_faults", "migrations", "replayed_steps",
+                 "retransmits", "checkpoints")
+
+
+def check_against_baseline(result: PodCampaignResult,
+                           baseline_path) -> list[str]:
+    """Compare a campaign result against a committed baseline; returns
+    human-readable problems (empty = pass).  Counts are integers and the
+    campaign is seeded, so every field must match exactly."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    got = result.to_json()
+    problems = []
+    for f in _EXACT_FIELDS:
+        if got[f] != baseline[f]:
+            problems.append(f"{f}: got {got[f]}, baseline {baseline[f]}")
+    for site, want in baseline["sites"].items():
+        have = got["sites"].get(site)
+        if have != want:
+            problems.append(f"sites[{site}]: got {have}, baseline {want}")
+    # The absolute gates hold regardless of what the baseline says.
+    for site, s in result.sites.items():
+        if s.injected and s.detection_rate < 1.0:
+            problems.append(
+                f"detection[{site}]: {s.detection_rate:.1%} < 100%")
+    if result.wrong_answers:
+        problems.append(f"{result.wrong_answers} wrong answers")
+    if result.unrecovered:
+        problems.append(f"{result.unrecovered} unrecovered faults")
+    return problems

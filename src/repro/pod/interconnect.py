@@ -1,0 +1,70 @@
+"""Interconnect cost model: links, transfers, and ring all-reduce.
+
+The pod's chips sit on a bidirectional ring (chip ``c`` links to
+``(c+1) % K``).  Costs are expressed in chip cycles so they compose
+directly with :class:`~repro.core.simulator.SimResult`:
+
+* a point-to-point transfer of ``w`` words costs
+  ``latency + w / link_words_per_cycle`` per hop;
+* a ring all-reduce of a ``w``-word object over ``k`` chips is the
+  classic 2(k-1)-step schedule - each chip sends ``w/k``-word segments
+  per step, moving ``2 * (k-1)/k * w`` words through each chip's send
+  port in total (bandwidth-optimal; the reduce-scatter + all-gather
+  decomposition the distribution-strategies RFC sketches).
+
+The serialized-cycles helpers convert a chip's link obligations into an
+``extra_streams`` entry for :func:`repro.core.simulator.simulate`, which
+charges them to the chip's memory clock at the link's (much slower)
+rate - that is what makes the interconnect *visible* as the scaling
+bottleneck instead of a free abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ChipConfig
+from repro.pod.config import PodConfig
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-chip link cost helper bound to one (chip, pod) pairing."""
+
+    chip: ChipConfig
+    pod: PodConfig
+
+    @property
+    def words_per_cycle(self) -> float:
+        return self.pod.link_words_per_cycle(self.chip)
+
+    def transfer_cycles(self, words: float, hops: int = 1) -> float:
+        """One point-to-point transfer, ``hops`` ring hops away."""
+        if words <= 0:
+            return 0.0
+        return hops * self.pod.link_latency_cycles \
+            + words / self.words_per_cycle
+
+    def all_reduce_words(self, words: float, k: int) -> float:
+        """Words through *each* chip's send port for one ring all-reduce
+        of a ``words``-word object over ``k`` participants."""
+        if k <= 1 or words <= 0:
+            return 0.0
+        return 2.0 * (k - 1) / k * words
+
+    def all_reduce_cycles(self, words: float, k: int) -> float:
+        """End-to-end cycles of one ring all-reduce over ``k`` chips."""
+        if k <= 1 or words <= 0:
+            return 0.0
+        steps = 2 * (k - 1)
+        return steps * self.pod.link_latency_cycles \
+            + self.all_reduce_words(words, k) / self.words_per_cycle
+
+    def stream_words(self, payload_words: float, hops: int = 1) -> float:
+        """Equivalent stream length (words) of a transfer including its
+        per-hop latency, for charging through ``extra_streams`` (which
+        speaks words, not cycles)."""
+        if payload_words <= 0:
+            return 0.0
+        return payload_words \
+            + hops * self.pod.link_latency_cycles * self.words_per_cycle

@@ -1,0 +1,205 @@
+"""Sharding a workload across pod chips.
+
+Two strategies, mirroring the tf-encrypted distribution-strategies RFC:
+
+* **data-parallel** (mirrored): every chip runs the complete program and
+  serves ``1/K`` of the batch; the only cross-chip traffic is the
+  all-reduce that merges per-shard outputs (secure-aggregation style).
+* **model-parallel** (sharded): the op stream is cut into K contiguous
+  stages balanced by modeled compute cycles, and every value that
+  crosses a cut becomes a link transfer - priced with the same
+  word-weights `compiler/ordering.py` uses for register-file pressure
+  (``raised_words`` for hoisted digit objects, ``ciphertext_words``
+  otherwise).
+
+Cut edges are *stitched*: the producer shard gains an ``OUTPUT`` op (the
+value leaves the chip) and the consumer shard an ``INPUT`` op (it
+arrives from the link), so every shard program passes
+``validate_program`` and simulates standalone.  Stitched ops are
+recorded on the shard (``stitched_inputs`` / ``stitched_outputs``) and
+excluded from ``op_indices``, which keeps the conservation invariant
+checkable: the shards' ``op_indices`` are a disjoint cover of the source
+program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ChipConfig
+from repro.core.cost import ciphertext_words, op_cost, raised_words
+from repro.ir import HOIST_MODUP, INPUT, OUTPUT, HomOp, Program
+from repro.pod.config import DATA_PARALLEL, MODEL_PARALLEL, PodConfig
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """One value crossing a shard boundary (a link transfer per batch)."""
+
+    value: str
+    src: int            # producing chip (shard index)
+    dst: int            # consuming chip
+    words: float        # transfer size (ordering.py word weights)
+
+
+@dataclass
+class Shard:
+    """One chip's slice of the workload."""
+
+    chip: int
+    program: Program
+    op_indices: tuple[int, ...]          # indices into the source program
+    batch_share: float = 1.0             # fraction of the batch served here
+    cut_in_words: float = 0.0            # words arriving over the link
+    cut_out_words: float = 0.0           # words leaving over the link
+    stitched_inputs: tuple[str, ...] = ()
+    stitched_outputs: tuple[str, ...] = ()
+
+
+@dataclass
+class Partition:
+    """The full sharding decision for one (program, pod) pairing."""
+
+    strategy: str
+    shards: list[Shard]
+    edges: list[CutEdge] = field(default_factory=list)
+
+    @property
+    def chips(self) -> int:
+        return len(self.shards)
+
+
+def _value_words(n: int, op: HomOp) -> float:
+    """Link-transfer size of ``op``'s result - the same weights the
+    pressure scheduler prices the live set with."""
+    if op.kind == HOIST_MODUP:
+        return raised_words(n, op.level, op.digits)
+    return ciphertext_words(n, op.level)
+
+
+def _op_weight(cfg: ChipConfig, op: HomOp, n: int) -> float:
+    """Balance weight in cycles: FU time for compute ops, stream time
+    for memory-only INPUT/OUTPUT ops."""
+    if op.kind in (INPUT, OUTPUT):
+        return ciphertext_words(n, op.level) / cfg.hbm_words_per_cycle
+    return op_cost(cfg, op, n).compute_cycles(cfg)
+
+
+def _cut_points(program: Program, cfg: ChipConfig, chips: int) -> list[int]:
+    """Boundaries of ``chips`` contiguous chunks, balanced by cycle
+    weight.  A boundary never lands between a ``hoist_modup`` and its
+    rotations: the raised digit object is an on-chip forwarding format,
+    not something to put on a wire."""
+    ops = program.ops
+    n = program.degree
+    weights = [_op_weight(cfg, op, n) for op in ops]
+    total = sum(weights)
+    bounds: list[int] = []
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        k = len(bounds) + 1
+        if k >= chips or i + 1 >= len(ops):
+            continue
+        if acc >= total * k / chips:
+            b = i + 1
+            while b < len(ops) and ops[b - 1].kind == HOIST_MODUP:
+                b += 1
+            if b < len(ops) and (not bounds or b > bounds[-1]):
+                bounds.append(b)
+    return bounds
+
+
+def partition(program: Program, cfg: ChipConfig, pod: PodConfig,
+              chips: int | None = None) -> Partition:
+    """Shard ``program`` across ``chips`` chips (default: the pod's
+    full complement; pass the survivor count for degraded N-1 plans)."""
+    k = pod.chips if chips is None else chips
+    if pod.strategy == DATA_PARALLEL:
+        return _partition_data(program, k)
+    return _partition_model(program, cfg, k)
+
+
+def _partition_data(program: Program, chips: int) -> Partition:
+    all_indices = tuple(range(len(program.ops)))
+    shards = [
+        Shard(chip=c, program=program, op_indices=all_indices,
+              batch_share=1.0 / chips)
+        for c in range(chips)
+    ]
+    return Partition(strategy=DATA_PARALLEL, shards=shards)
+
+
+def _partition_model(program: Program, cfg: ChipConfig,
+                     chips: int) -> Partition:
+    ops = program.ops
+    n = program.degree
+    bounds = _cut_points(program, cfg, chips)
+    starts = [0, *bounds]
+    ends = [*bounds, len(ops)]
+    chunks = [tuple(range(s, e)) for s, e in zip(starts, ends)]
+    chunks += [()] * (chips - len(chunks))  # tiny programs: idle chips
+
+    chunk_of: dict[str, int] = {}  # producing chunk of each value
+    for c, idx in enumerate(chunks):
+        for i in idx:
+            if ops[i].kind != OUTPUT:
+                chunk_of[ops[i].result] = c
+
+    producer_op = {op.result: op for op in ops if op.kind != OUTPUT}
+    edges: list[CutEdge] = []
+    shards: list[Shard] = []
+    # (src, value) pairs already stitched with an OUTPUT, so a value
+    # consumed by several later shards leaves its producer only once
+    # (the per-consumer link legs stay separate edges).
+    emitted: set[tuple[int, str]] = set()
+
+    for c, idx in enumerate(chunks):
+        chunk_ops = [ops[i] for i in idx]
+        needed: list[str] = []  # cross-shard operands, first-use order
+        for op in chunk_ops:
+            for operand in op.operands:
+                src = chunk_of.get(operand)
+                if src is not None and src != c and operand not in needed:
+                    needed.append(operand)
+
+        stitched_in: list[HomOp] = []
+        in_words = 0.0
+        for value in needed:
+            p = producer_op[value]
+            words = _value_words(n, p)
+            stitched_in.append(HomOp(
+                kind=INPUT, level=p.level, result=value, tag="pod-cut",
+            ))
+            in_words += words
+            edges.append(CutEdge(value=value, src=chunk_of[value], dst=c,
+                                 words=words))
+
+        shards.append(Shard(
+            chip=c,
+            program=Program(
+                name=f"{program.name}@chip{c}/{chips}",
+                degree=program.degree, max_level=program.max_level,
+                ops=[*stitched_in, *chunk_ops],
+            ),
+            op_indices=idx,
+            cut_in_words=in_words,
+            stitched_inputs=tuple(needed),
+        ))
+
+    # Producer-side stitching: every edge's value leaves its shard as an
+    # OUTPUT (charged once per value, transferred once per consumer).
+    for e in edges:
+        shard = shards[e.src]
+        shard.cut_out_words += e.words
+        if (e.src, e.value) not in emitted:
+            emitted.add((e.src, e.value))
+            p = producer_op[e.value]
+            shard.program.append(HomOp(
+                kind=OUTPUT, level=p.level,
+                result=f"podout_{e.value}", operands=(e.value,),
+                tag="pod-cut",
+            ))
+            shard.stitched_outputs += (e.value,)
+
+    return Partition(strategy=MODEL_PARALLEL, shards=shards, edges=edges)

@@ -1,0 +1,83 @@
+"""Throughput-scaling study: where does the interconnect kill scaling?
+
+Sweeps pod size (1/2/4/8 chips), sharding strategy (data- vs
+model-parallel), and health (clean vs one chip fail-stopped) over the
+four deep benchmarks, reporting steady-state throughput speedup against
+a single unsharded chip.  This is the pod's answer to F1+'s all-to-all
+finding: data-parallel scales near-linearly (the all-reduce tax is one
+output object per batch), while model-parallel saturates as soon as a
+cut ciphertext's link time rivals a stage's compute time.
+
+``scaling_rows`` is the machine-readable form (the nightly benchmark
+pins and archives it); ``scaling_table`` renders the committed text
+table in ``benchmarks/results/pod_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ChipConfig
+from repro.core.simulator import simulate
+from repro.pod.config import PodConfig, STRATEGIES
+from repro.pod.simulator import simulate_pod
+from repro.workloads import DEEP_BENCHMARKS, benchmark
+
+CHIP_SWEEP = (1, 2, 4, 8)
+
+
+def scaling_rows(benchmarks=DEEP_BENCHMARKS, chip_counts=CHIP_SWEEP,
+                 strategies=STRATEGIES,
+                 cfg: ChipConfig | None = None) -> list[dict]:
+    """One dict per (benchmark, chips, strategy): clean and degraded
+    (one chip down; skipped at K=1) per-batch cycles and speedups."""
+    cfg = cfg or ChipConfig()
+    rows = []
+    for name in benchmarks:
+        program = benchmark(name)
+        single = simulate(program, cfg)
+        for chips in chip_counts:
+            for strategy in strategies:
+                pod = PodConfig(chips=chips, strategy=strategy)
+                clean = simulate_pod(program, cfg, pod)
+                row = {
+                    "benchmark": name,
+                    "chips": chips,
+                    "strategy": strategy,
+                    "single_chip_cycles": single.cycles,
+                    "clean_cycles_per_batch": clean.cycles_per_batch,
+                    "clean_speedup": clean.speedup(single),
+                    "link_words": clean.link_words,
+                    "degraded_cycles_per_batch": None,
+                    "degraded_speedup": None,
+                }
+                if chips > 1:
+                    degraded = simulate_pod(program, cfg, pod,
+                                            failed_chips=(chips - 1,))
+                    row["degraded_cycles_per_batch"] = \
+                        degraded.cycles_per_batch
+                    row["degraded_speedup"] = degraded.speedup(single)
+                rows.append(row)
+    return rows
+
+
+def scaling_table(rows: list[dict] | None = None) -> str:
+    """The committed throughput-scaling table (text)."""
+    from repro.analysis.report import format_table
+
+    rows = rows if rows is not None else scaling_rows()
+    body = []
+    for r in rows:
+        degraded = ("-" if r["degraded_speedup"] is None
+                    else f"{r['degraded_speedup']:.2f}x")
+        body.append([
+            r["benchmark"], r["chips"], r["strategy"],
+            f"{r['clean_cycles_per_batch']:.3e}",
+            f"{r['clean_speedup']:.2f}x",
+            degraded,
+            f"{r['link_words']:.3e}",
+        ])
+    return format_table(
+        ["benchmark", "chips", "strategy", "cycles/batch", "speedup",
+         "N-1 speedup", "link words"],
+        body,
+        title="Pod throughput scaling (steady state, vs 1 chip)",
+    )

@@ -1,0 +1,179 @@
+"""K-chip pod simulation layered over the single-chip simulator.
+
+Every chip runs :func:`repro.core.simulator.simulate` on its shard, with
+its link obligations charged through ``extra_streams`` (so the chip's
+cycles, traffic split, and bandwidth utilization all include the
+interconnect) and its op events tagged with the chip index (so a pod
+trace renders as K parallel machines).
+
+Two notions of cost come out of a pod run:
+
+* ``batch_cycles`` - end-to-end latency of *one* batch.  Data-parallel:
+  the slowest replica (they run concurrently).  Model-parallel: the sum
+  of stage cycles (the batch walks the pipeline).
+* ``cycles_per_batch`` - steady-state cost per batch under load.
+  Data-parallel: slowest replica / replica count (K batches in flight).
+  Model-parallel: the slowest stage (the pipeline refills behind it).
+
+Failed chips (``failed_chips``) model degraded N-1 operation: the
+survivors repartition the work - data-parallel shards widen to
+``1/(K-1)`` of the batch, model-parallel stages are re-cut over the
+survivor count - and both latency and throughput are recomputed from
+scratch, which is exactly what the serving layer's degraded-capacity
+admission consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ChipConfig
+from repro.core.cost import ciphertext_words
+from repro.core.simulator import SimResult, simulate
+from repro.ir import OUTPUT, Program
+from repro.obs import collector as obs
+from repro.pod.config import DATA_PARALLEL, PodConfig
+from repro.pod.interconnect import LinkModel
+from repro.pod.partition import Partition, partition
+from repro.reliability.errors import ChipFailure, ConfigError
+
+
+@dataclass
+class PodResult:
+    """Everything the evaluation needs from one simulated pod run."""
+
+    name: str
+    strategy: str
+    chips: int                       # configured pod size
+    alive: tuple[int, ...]           # chips that actually ran
+    failed: tuple[int, ...]          # fail-stopped chips (degraded mode)
+    chip_results: dict[int, SimResult]
+    link_words: float                # words through all send ports, per batch
+    batch_cycles: float              # one batch end-to-end (latency)
+    cycles_per_batch: float          # steady-state per-batch cost
+    clock_hz: float
+    partition: Partition | None = field(default=None, repr=False)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed)
+
+    @property
+    def seconds_per_batch(self) -> float:
+        return self.cycles_per_batch / self.clock_hz
+
+    @property
+    def batch_seconds(self) -> float:
+        return self.batch_cycles / self.clock_hz
+
+    def speedup(self, single: SimResult) -> float:
+        """Throughput scaling vs one unsharded chip."""
+        if not self.cycles_per_batch:
+            return 0.0
+        return single.cycles / self.cycles_per_batch
+
+
+def _output_words(program: Program) -> float:
+    n = program.degree
+    return sum(ciphertext_words(n, op.level) for op in program.ops
+               if op.kind == OUTPUT)
+
+
+def simulate_pod(program: Program, cfg: ChipConfig, pod: PodConfig,
+                 failed_chips=(), checkpoint_every: int = 0,
+                 cache=None) -> PodResult:
+    """Run ``program`` on a ``pod`` of ``cfg`` chips; see module docstring.
+
+    ``failed_chips`` names fail-stopped chips; their work is carried by
+    the survivors (degraded N-1 operation).  Raises
+    :class:`~repro.reliability.errors.ChipFailure` when no chip
+    survives - a pod with zero chips has no degraded mode left.
+    """
+    failed = tuple(sorted(set(failed_chips)))
+    for c in failed:
+        if not 0 <= c < pod.chips:
+            raise ConfigError("failed chip index outside the pod",
+                              chip=c, chips=pod.chips)
+    alive = tuple(c for c in range(pod.chips) if c not in failed)
+    if not alive:
+        raise ChipFailure("every chip in the pod has failed",
+                          chips=pod.chips, failed=failed)
+    k = len(alive)
+    link = LinkModel(cfg, pod)
+    tr = obs.active()
+    if tr is not None:
+        tr.count("pod.simulations")
+        if failed:
+            tr.count("pod.degraded_simulations")
+
+    if pod.strategy == DATA_PARALLEL:
+        part = partition(program, cfg, pod, chips=k)
+        # Mirrored replicas: per-batch link cost is the all-reduce that
+        # merges the shard outputs (secure-aggregation style).
+        out_words = _output_words(program)
+        ar_words = link.all_reduce_words(out_words, k)
+        ar_cycles = link.all_reduce_cycles(out_words, k)
+        extra = None
+        if ar_words:
+            extra = {"link": (ar_words, ar_words / ar_cycles)}
+        chip_results: dict[int, SimResult] = {}
+        shared: SimResult | None = None
+        for c in alive:
+            if tr is None and shared is not None:
+                # Replicas are identical; without a collector there is
+                # no per-chip event stream to distinguish them.
+                chip_results[c] = shared
+                continue
+            shared = simulate(program, cfg, checkpoint_every, cache,
+                              extra_streams=extra, chip=c)
+            chip_results[c] = shared
+        slowest = max(r.cycles for r in chip_results.values())
+        result = PodResult(
+            name=program.name, strategy=pod.strategy, chips=pod.chips,
+            alive=alive, failed=failed, chip_results=chip_results,
+            link_words=ar_words * k, batch_cycles=slowest,
+            cycles_per_batch=slowest / k, clock_hz=cfg.clock_hz,
+            partition=part,
+        )
+    else:
+        part = partition(program, cfg, pod, chips=k)
+        chip_results = {}
+        stage_cycles = []
+        link_words = 0.0
+        for j, shard in enumerate(part.shards):
+            chip = alive[j]
+            extra = {}
+            if shard.cut_in_words:
+                cycles = link.transfer_cycles(shard.cut_in_words)
+                extra["link_in"] = (shard.cut_in_words,
+                                    shard.cut_in_words / cycles)
+            if shard.cut_out_words:
+                cycles = link.transfer_cycles(shard.cut_out_words)
+                extra["link_out"] = (shard.cut_out_words,
+                                     shard.cut_out_words / cycles)
+            link_words += shard.cut_out_words
+            shard_prog = shard.program
+            if cache:
+                # Shard artifacts are namespaced by the pod descriptor:
+                # a cut of resnet20 for "4xmodel" must never alias the
+                # whole benchmark's artifact (or another cut's).
+                from repro.compiler.cache import compile_program
+
+                shard_prog = compile_program(
+                    shard_prog, cfg, pod=f"{k}x{pod.strategy}",
+                    cache=cache)
+            res = simulate(shard_prog, cfg, checkpoint_every, cache=None,
+                           extra_streams=extra or None, chip=chip)
+            chip_results[chip] = res
+            stage_cycles.append(res.cycles)
+        result = PodResult(
+            name=program.name, strategy=pod.strategy, chips=pod.chips,
+            alive=alive, failed=failed, chip_results=chip_results,
+            link_words=link_words, batch_cycles=sum(stage_cycles),
+            cycles_per_batch=max(stage_cycles) if stage_cycles else 0.0,
+            clock_hz=cfg.clock_hz, partition=part,
+        )
+
+    if tr is not None:
+        tr.count("pod.link_words", result.link_words)
+    return result

@@ -146,3 +146,35 @@ class UnrecoverableFaultError(FaultDetectedError):
     see it; the context carries the escalation history (retries, restarts,
     the failing step) for post-mortems.
     """
+
+
+class ChipFailure(ReproError, RuntimeError):
+    """A pod chip fail-stopped: it stops responding mid-round.
+
+    Raised by the pod coordinator (`repro.pod.coordinator`) when the
+    ``chip`` fault site fires for a chip.  Fail-stop is a *liveness*
+    failure, not a data-integrity one, so it subclasses
+    :class:`RuntimeError` directly rather than
+    :class:`FaultDetectedError`: there is no corrupted value to detect,
+    only a missing participant.  The pod recovers by migrating the dead
+    chip's shard onto the least-loaded survivor and replaying from the
+    last verified pod checkpoint; the error surfaces to callers only
+    when the pod is already down to zero survivors.  Context carries the
+    chip index and the round it died in.
+    """
+
+
+class InterconnectError(FaultDetectedError):
+    """A cross-chip transfer failed its seal check on arrival.
+
+    Raised by the pod interconnect (`repro.pod.coordinator`) when a
+    shard-boundary or all-reduce transfer arrives with limb checksums
+    that do not match the payload - the ``link`` fault site corrupted it
+    in flight.  Subclasses :class:`FaultDetectedError` (damaged data,
+    valid inputs), so existing recovery ladders treat it as a detected
+    fault.  The receiver never accepts the payload; the sender
+    retransmits from its intact copy with seeded backoff, up to the
+    pod's ``link_retries`` budget, after which it escalates as
+    unrecoverable.  Context carries the link (sender, receiver) and the
+    retry count.
+    """

@@ -62,6 +62,16 @@ RF = "rf"
 HBM = "hbm"
 SITES = (LIMB, NTT, RF, HBM)
 
+# Pod-level failure domains (`repro.pod`): whole-chip fail-stop and
+# interconnect-link corruption.  Kept out of ``SITES`` deliberately -
+# the single-chip campaigns round-robin ``SITES`` by trial index, so
+# extending that tuple would silently reshuffle every committed
+# baseline.  ``ALL_SITES`` is the validation universe.
+CHIP = "chip"
+LINK = "link"
+POD_SITES = (CHIP, LINK)
+ALL_SITES = SITES + POD_SITES
+
 
 class FaultInjector:
     """Seeded single-bit corruptions at configurable per-site rates.
@@ -81,37 +91,66 @@ class FaultInjector:
     def __init__(self, seed: int = 2022,
                  rates: dict[str, float] | None = None, max_bit: int = 28):
         for site in (rates or {}):
-            if site not in SITES:
+            if site not in ALL_SITES:
                 raise ParameterError(f"unknown fault site {site!r}",
-                                     known=SITES)
+                                     known=ALL_SITES)
         self.rng = np.random.default_rng(seed)
-        self.rates = dict.fromkeys(SITES, 0.0)
+        self.rates = dict.fromkeys(ALL_SITES, 0.0)
         self.rates.update(rates or {})
         self.max_bit = max_bit
-        self.injected = dict.fromkeys(SITES, 0)
-        self._armed: dict[str, int] = {}
+        self.injected = dict.fromkeys(ALL_SITES, 0)
+        self._armed: dict[str, list[int]] = {}
 
-    def arm(self, site: str, skip: int = 0) -> None:
-        """Schedule one corruption at ``site``'s (skip+1)-th opportunity."""
-        self._armed[site] = skip
+    def arm(self, site: str, skip: int = 0, count: int = 1) -> None:
+        """Schedule corruption at ``site``'s (skip+1)-th opportunity.
+
+        ``count`` > 1 models a *stubborn* fault: the corruption repeats
+        for that many consecutive opportunities (e.g. a link that keeps
+        flipping bits across retransmits) before the arm clears.
+        """
+        self._armed[site] = [skip, count]
 
     @property
     def pending(self) -> bool:
         return bool(self._armed)
 
+    def _armed_fires(self, site: str) -> bool:
+        pending = self._armed[site]
+        if pending[0] > 0:
+            pending[0] -= 1
+            return False
+        pending[1] -= 1
+        if pending[1] <= 0:
+            del self._armed[site]
+        return True
+
     def maybe_corrupt(self, site: str, data: np.ndarray) -> bool:
         """Corrupt ``data`` in place if this opportunity fires."""
         if site in self._armed:
-            if self._armed[site] > 0:
-                self._armed[site] -= 1
+            if not self._armed_fires(site):
                 return False
-            del self._armed[site]
         elif not (self.rates[site] and self.rng.random() < self.rates[site]):
             return False
         flat = data.reshape(-1)
         word = int(self.rng.integers(flat.size))
         bit = np.uint64(1) << np.uint64(self.rng.integers(self.max_bit))
         flat[word] ^= bit
+        self.injected[site] += 1
+        obs.count(f"reliability.faults.injected.{site}")
+        return True
+
+    def fires(self, site: str) -> bool:
+        """Data-less fault opportunity: does ``site`` fire here?
+
+        Same arm/rate semantics as :meth:`maybe_corrupt` but without a
+        payload to damage - used for fail-stop events (a pod chip dying
+        has no array to flip a bit in, the chip simply stops).
+        """
+        if site in self._armed:
+            if not self._armed_fires(site):
+                return False
+        elif not (self.rates[site] and self.rng.random() < self.rates[site]):
+            return False
         self.injected[site] += 1
         obs.count(f"reliability.faults.injected.{site}")
         return True

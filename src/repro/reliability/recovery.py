@@ -44,6 +44,7 @@ measurable, not assumed.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -230,6 +231,14 @@ class DiskStore:
     ``<name>.c0`` / ``<name>.c1`` / ``<name>.sum0`` / ``<name>.sum1``
     keys, scalar bookkeeping in the sidecar.  Loading re-verifies every
     entry's seal, so on-disk corruption is detected, not decrypted.
+
+    Writes follow the payload-then-manifest discipline the compile cache
+    uses: both files land under temporary names and are atomically
+    renamed, payload first, manifest last.  The manifest's existence is
+    the commit point - a crash mid-checkpoint leaves either nothing or a
+    manifest-less payload, and :meth:`steps` counts the latter as a
+    *stale* checkpoint (``reliability.recovery.stale_checkpoints``)
+    instead of handing restore a torn ``.npz``.
     """
 
     def __init__(self, directory, prefix: str = "ckpt"):
@@ -258,15 +267,31 @@ class DiskStore:
                 "budget_mod_bits": snap.budget_mod_bits,
             }
         path = self._path(ckpt.step)
-        np.savez(path, **arrays)
-        path.with_suffix(".json").write_text(json.dumps(meta))
+        manifest = path.with_suffix(".json")
+        tmp_npz = path.with_suffix(".npz.tmp")
+        tmp_json = manifest.with_suffix(".json.tmp")
+        with open(tmp_npz, "wb") as fh:  # np.savez would append ".npz"
+            np.savez(fh, **arrays)
+        os.replace(tmp_npz, path)
+        tmp_json.write_text(json.dumps(meta))
+        os.replace(tmp_json, manifest)
         return path
 
     def steps(self) -> list[int]:
-        return sorted(
-            int(p.stem[len(self.prefix) + 1:])
-            for p in self.directory.glob(f"{self.prefix}_*.npz")
-        )
+        """Committed checkpoint steps (payload *and* manifest present).
+
+        Payloads without a manifest are half-written casualties of a
+        crash; they are counted (not loaded, not deleted - post-mortems
+        may want them) and excluded, so recovery falls back to the
+        newest *complete* checkpoint.
+        """
+        complete = []
+        for p in self.directory.glob(f"{self.prefix}_*.npz"):
+            if p.with_suffix(".json").exists():
+                complete.append(int(p.stem[len(self.prefix) + 1:]))
+            else:
+                obs.count("reliability.recovery.stale_checkpoints")
+        return sorted(complete)
 
     def load(self, step: int) -> Checkpoint:
         path = self._path(step)

@@ -62,6 +62,13 @@ class ServeConfig:
     backoff_base_s: float = 1e-4
     backoff_factor: float = 2.0
     backoff_jitter: float = 0.25
+    admission_retry_budget: float = 1.0  # fraction of the worst-case
+    #                              retry/backoff budget folded into the
+    #                              admission ETA.  1.0 = a request is only
+    #                              admitted if its deadline survives every
+    #                              retry pausing at the backoff ceiling;
+    #                              0.0 restores the old optimistic ETA
+    #                              that shed *after* burning chip time
     checkpoint_every: int = 2    # RecoveringExecutor checkpoint cadence
     executor_retries: int = 1    # in-executor checkpoint replays
     executor_restarts: int = 1   # in-executor full restarts
@@ -89,6 +96,20 @@ class ServeConfig:
     def capacity(self) -> int:
         """Tenant blocks one ciphertext can carry."""
         return self.slots // self.block_slots
+
+    def retry_budget_s(self) -> float:
+        """Worst-case serve-level backoff a faulted batch accumulates.
+
+        ``max_retries`` pauses, each bounded by the *ceiling* pause (the
+        last retry's exponential step at full positive jitter), scaled
+        by ``admission_retry_budget``.  The admission ETA folds this in
+        so a request whose deadline only holds if nothing ever faults is
+        shed up front instead of expiring after occupying the chip.
+        """
+        ceiling = self.backoff_base_s \
+            * self.backoff_factor ** max(0, self.max_retries - 1) \
+            * (1.0 + self.backoff_jitter)
+        return self.admission_retry_budget * self.max_retries * ceiling
 
     def with_(self, **changes) -> "ServeConfig":
         """A copy with ``changes`` applied (re-validated)."""

@@ -32,7 +32,9 @@ SHED_OVERLOAD = "overload"
 SHED_DEADLINE = "deadline"
 SHED_BREAKER = "breaker"
 SHED_INVALID = "invalid"
-SHED_REASONS = (SHED_OVERLOAD, SHED_DEADLINE, SHED_BREAKER, SHED_INVALID)
+SHED_CAPACITY = "capacity"   # pod lost every chip; nothing can execute
+SHED_REASONS = (SHED_OVERLOAD, SHED_DEADLINE, SHED_BREAKER, SHED_INVALID,
+                SHED_CAPACITY)
 
 
 @dataclass
@@ -88,3 +90,4 @@ class BatchRecord:
     retries: int = 0
     degraded: bool = False
     cache_hit: bool = False
+    chip: int = 0                # pod chip the batch executed on

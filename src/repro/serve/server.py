@@ -49,6 +49,7 @@ from repro.core.simulator import simulate
 from repro.obs import collector as obs
 from repro.reliability import guards
 from repro.reliability.errors import (
+    ChipFailure,
     CircuitOpen,
     DeadlineExceeded,
     Overloaded,
@@ -70,6 +71,7 @@ from repro.serve.request import (
     FAILED,
     SHED,
     SHED_BREAKER,
+    SHED_CAPACITY,
     SHED_DEADLINE,
     SHED_INVALID,
     SHED_OVERLOAD,
@@ -88,17 +90,25 @@ from repro.workloads.serving import (
 
 
 class Server:
-    """One serving front-end instance over one simulated chip."""
+    """One serving front-end over one simulated chip - or, with a
+    :class:`~repro.pod.config.PodConfig`, over a pod of them: batches
+    dispatch onto the earliest-free alive chip, :meth:`fail_chip`
+    degrades capacity (N-1 ETAs, typed shedding once empty)."""
 
     def __init__(self, cfg: ServeConfig | None = None,
                  clock: VirtualClock | None = None,
                  chip: ChipConfig | None = None,
-                 cache=True, fault_factory=None):
+                 cache=True, fault_factory=None, pod=None):
         from repro.fhe.ckks import CkksContext, CkksParams
 
         self.cfg = cfg or ServeConfig()
         self.clock = clock or VirtualClock()
         self.chip = chip or ChipConfig()
+        # Optional repro.pod.PodConfig: batches dispatch onto the
+        # earliest-free alive chip (data-parallel lanes; each batch is
+        # one ciphertext, so a lane is a whole chip).  None = the
+        # single-chip server of PR 7, bit-for-bit.
+        self.pod = pod
         self.cache = cache          # compile-cache handle (PR 6 semantics)
         # Hook for fault campaigns: fault_factory(batch_id, attempt,
         # steps) -> steps, free to wrap step fns and arm the injector.
@@ -128,7 +138,9 @@ class Server:
         self.breakers: dict[str, CircuitBreaker] = {}
         self.responses: list[Response] = []
         self.batches: list[BatchRecord] = []
-        self.chip_free_at = 0.0
+        lanes = pod.chips if pod is not None else 1
+        self.chips_free_at = [0.0] * lanes  # per-chip residency
+        self.alive: set[int] = set(range(lanes))
         self.busy_s = 0.0           # chip seconds actually occupied
         self.phase_seconds: dict[str, float] = {}  # tag -> chip seconds
         self._next_request_id = 0
@@ -142,10 +154,43 @@ class Server:
             "degraded_dispatches": 0, "faults_recovered": 0,
             "verify_mismatches": 0,
             "shed.overload": 0, "shed.deadline": 0, "shed.breaker": 0,
-            "shed.invalid": 0,
+            "shed.invalid": 0, "shed.capacity": 0,
+            "pod.chip_failures": 0,
         }
 
     # -- small helpers -----------------------------------------------------
+
+    @property
+    def chip_free_at(self) -> float:
+        """Earliest virtual time any alive chip frees up (``inf`` once
+        the pod has lost every chip)."""
+        if not self.alive:
+            return float("inf")
+        return min(self.chips_free_at[k] for k in self.alive)
+
+    @chip_free_at.setter
+    def chip_free_at(self, t: float) -> None:
+        """Set the earliest-free alive lane (single-chip: lane 0)."""
+        lane = (min(self.alive, key=lambda k: (self.chips_free_at[k], k))
+                if self.alive else 0)
+        self.chips_free_at[lane] = t
+
+    def fail_chip(self, chip: int) -> None:
+        """Fail-stop one pod chip: it takes no further batches.
+
+        Admission immediately recomputes ETAs against the surviving
+        capacity (fewer lanes -> slower drain -> earlier deadline
+        sheds); once the last chip is gone every submit sheds with a
+        typed :class:`ChipFailure`.  The serving layer has no shard
+        state to migrate - each batch lives on exactly one chip - so
+        N-1 degradation here is purely a capacity event.
+        """
+        if chip not in self.alive:
+            raise ParameterError("cannot fail a chip that is not alive",
+                                 chip=chip, alive=sorted(self.alive))
+        self.alive.discard(chip)
+        self._count("pod.chip_failures")
+        obs.gauge("serve.pod.alive", float(len(self.alive)))
 
     def _count(self, key: str, n: int = 1) -> None:
         self.tally[key] += n
@@ -240,6 +285,13 @@ class Server:
             # (whose failures are shared-fate, not tenant signal).
             br.record_success()
 
+        if not self.alive:
+            # The pod lost its last chip: nothing can ever execute, so
+            # shedding here is the only honest answer.
+            self._shed(SHED_CAPACITY)
+            raise ChipFailure("pod has no alive chips; request shed",
+                              tenant=tenant, chips=len(self.chips_free_at))
+
         deadline = now + (deadline_s if deadline_s is not None
                           else self.cfg.default_deadline_s)
         eta = self._eta(kind, now)
@@ -264,14 +316,23 @@ class Server:
         return req
 
     def _eta(self, kind: str, now: float) -> float:
-        """Optimistic time-to-answer for a request admitted at ``now``:
-        current chip residency, the backlog drained at full batches,
-        one batch window, and its own batch's service time."""
+        """Time-to-answer estimate for a request admitted at ``now``:
+        current chip residency, the backlog drained at full batches
+        across every alive chip, one batch window, its own batch's
+        service time, and the worst-case retry/backoff budget.
+
+        The retry budget term is what makes the feasibility check
+        honest under faults: without it a request admitted with exactly
+        service-time slack expires the moment its batch retries once -
+        chip time burned for an answer nobody can use.
+        """
         busy = max(0.0, self.chip_free_at - now)
+        lanes = max(1, len(self.alive))
         drain = (len(self.queue) / self.cfg.max_batch) \
-            * self.service_seconds(kind, self.cfg.max_batch)
+            * self.service_seconds(kind, self.cfg.max_batch) / lanes
         return (busy + drain + self.cfg.batch_window_s
-                + self.service_seconds(kind, 1))
+                + self.service_seconds(kind, 1)
+                + self.cfg.retry_budget_s())
 
     # -- dispatch ----------------------------------------------------------
 
@@ -393,7 +454,11 @@ class Server:
                 obs.count("serve.backoff_s", pause)
 
         completed_at = t0 + duration
-        self.chip_free_at = completed_at
+        # Earliest-free alive chip takes the batch (id-tiebroken so the
+        # schedule is deterministic); single-chip servers have lane 0.
+        lane = min(self.alive, key=lambda k: (self.chips_free_at[k], k))
+        self.chips_free_at[lane] = completed_at
+        record.chip = lane
         self.busy_s += duration
         record.service_s = service_s * (retries + 1)
         record.overhead_s = duration - record.service_s

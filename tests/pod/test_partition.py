@@ -1,0 +1,142 @@
+"""Partitioner invariants: conservation, stitching, balance.
+
+The load-bearing property is *conservation*: the shards' ``op_indices``
+are a disjoint cover of the source program - no op dropped, no op
+duplicated (except the deliberate stitched INPUT/OUTPUT legs, which are
+recorded separately and tagged ``pod-cut``).  Checked exhaustively on
+the deep benchmarks and property-based on random DAGs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.dsl import FheBuilder
+from repro.core.config import ChipConfig
+from repro.ir import HOIST_MODUP, INPUT, OUTPUT
+from repro.pod import DATA_PARALLEL, MODEL_PARALLEL, PodConfig, partition
+from repro.reliability.validate import validate_program
+from repro.workloads import benchmark
+
+CFG = ChipConfig()
+
+
+def random_program(draw_ops: list[tuple[str, int, int]],
+                   inputs: int) -> "Program":
+    """A valid random DAG from a hypothesis-drawn op script."""
+    b = FheBuilder("hyp", degree=256, max_level=6)
+    values = [b.input(f"x{i}", level=4) for i in range(inputs)]
+    for kind, a, c in draw_ops:
+        va = values[a % len(values)]
+        if kind == "add":
+            values.append(b.add(va, values[c % len(values)]))
+        elif kind == "rotate":
+            values.append(b.rotate(va, steps=1 + c % 7))
+        else:  # square keeps the DAG single-operand but drops a level
+            if va.level >= 2:
+                values.append(b.square(va))
+    b.output(values[-1])
+    return b.build()
+
+
+def assert_conservation(program, part):
+    """Shards' op_indices are a disjoint, complete, ordered cover."""
+    seen = []
+    for shard in part.shards:
+        assert list(shard.op_indices) == sorted(shard.op_indices)
+        seen.extend(shard.op_indices)
+    assert sorted(seen) == list(range(len(program.ops)))
+    assert len(seen) == len(set(seen)), "an op landed on two shards"
+
+
+def assert_stitching(program, part):
+    """Every non-original op is a tagged pod-cut INPUT/OUTPUT that the
+    shard records; everything else is the original op, verbatim."""
+    for shard in part.shards:
+        extra = [op for op in shard.program.ops if op.tag == "pod-cut"]
+        kept = [op for op in shard.program.ops if op.tag != "pod-cut"]
+        assert kept == [program.ops[i] for i in shard.op_indices]
+        for op in extra:
+            assert op.kind in (INPUT, OUTPUT)
+            if op.kind == INPUT:
+                assert op.result in shard.stitched_inputs
+            else:
+                assert op.operands[0] in shard.stitched_outputs
+
+
+@pytest.mark.parametrize("name", ["logreg", "resnet20"])
+@pytest.mark.parametrize("chips", [1, 2, 3, 4, 8])
+def test_model_parallel_benchmarks_conserve_and_validate(name, chips):
+    program = benchmark(name)
+    pod = PodConfig(chips=chips, strategy=MODEL_PARALLEL)
+    part = partition(program, CFG, pod)
+    assert part.chips == chips
+    assert_conservation(program, part)
+    assert_stitching(program, part)
+    for shard in part.shards:
+        if shard.program.ops:
+            validate_program(shard.program, CFG)
+    # Every cut edge crosses shards forward (contiguous cut => the
+    # producer's chunk precedes the consumer's).
+    for e in part.edges:
+        assert e.src < e.dst
+        assert e.words > 0
+
+
+def test_data_parallel_is_mirrored():
+    program = benchmark("logreg")
+    part = partition(program, CFG, PodConfig(chips=4))
+    assert part.strategy == DATA_PARALLEL
+    assert not part.edges
+    for shard in part.shards:
+        assert shard.program is program
+        assert len(shard.op_indices) == len(program.ops)
+        assert shard.batch_share == pytest.approx(0.25)
+    assert sum(s.batch_share for s in part.shards) == pytest.approx(1.0)
+
+
+def test_boundary_never_splits_hoist_group():
+    """A cut directly after a hoist_modup would put the raised digit
+    object on the wire; the partitioner must shift past it."""
+    program = benchmark("resnet20")
+    for chips in (2, 3, 4, 8):
+        part = partition(program, CFG,
+                         PodConfig(chips=chips, strategy=MODEL_PARALLEL))
+        for shard in part.shards[:-1]:
+            if shard.op_indices:
+                last = program.ops[shard.op_indices[-1]]
+                assert last.kind != HOIST_MODUP
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "rotate", "square"]),
+                  st.integers(0, 63), st.integers(0, 63)),
+        min_size=1, max_size=40),
+    inputs=st.integers(1, 4),
+    chips=st.integers(1, 6),
+    strategy=st.sampled_from([DATA_PARALLEL, MODEL_PARALLEL]),
+)
+def test_partition_conservation_property(ops, inputs, chips, strategy):
+    """Union of shards == program; no op duplicated except the
+    deliberate stitched legs (satellite property test)."""
+    program = random_program(ops, inputs)
+    pod = PodConfig(chips=chips, strategy=strategy)
+    part = partition(program, CFG, pod)
+    if strategy == DATA_PARALLEL:
+        for shard in part.shards:
+            assert list(shard.op_indices) == list(range(len(program.ops)))
+        assert sum(s.batch_share for s in part.shards) == pytest.approx(1.0)
+        return
+    assert_conservation(program, part)
+    assert_stitching(program, part)
+    for shard in part.shards:
+        if shard.program.ops:
+            validate_program(shard.program, CFG)
+    # Edge accounting: shard cut words reconcile with the edge list.
+    for c, shard in enumerate(part.shards):
+        in_w = sum(e.words for e in part.edges if e.dst == c)
+        out_w = sum(e.words for e in part.edges if e.src == c)
+        assert shard.cut_in_words == pytest.approx(in_w)
+        assert shard.cut_out_words == pytest.approx(out_w)

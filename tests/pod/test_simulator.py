@@ -1,0 +1,79 @@
+"""simulate_pod: scaling shape, degraded mode, stream accounting."""
+
+import pytest
+
+from repro.core.config import ChipConfig
+from repro.core.simulator import simulate
+from repro.obs import collector as obs
+from repro.pod import MODEL_PARALLEL, PodConfig, simulate_pod
+from repro.reliability.errors import ChipFailure, ConfigError
+from repro.workloads import benchmark
+
+CFG = ChipConfig()
+
+
+@pytest.fixture(scope="module")
+def logreg():
+    return benchmark("logreg")
+
+
+@pytest.fixture(scope="module")
+def single(logreg):
+    return simulate(logreg, CFG)
+
+
+def test_one_chip_pod_matches_single_chip(logreg, single):
+    for strategy in ("data", "model"):
+        r = simulate_pod(logreg, CFG, PodConfig(chips=1, strategy=strategy))
+        assert r.cycles_per_batch == pytest.approx(single.cycles)
+        assert r.link_words == 0.0
+        assert r.speedup(single) == pytest.approx(1.0)
+
+
+def test_data_parallel_scales_with_all_reduce_tax(logreg, single):
+    r = simulate_pod(logreg, CFG, PodConfig(chips=4))
+    # Near-linear: the only tax is the output all-reduce.
+    assert 3.5 < r.speedup(single) <= 4.0 + 1e-9
+    assert r.link_words > 0
+    # Latency does not improve (replicas run the whole program).
+    assert r.batch_cycles >= single.cycles
+
+
+def test_model_parallel_pipeline_semantics(logreg, single):
+    r = simulate_pod(logreg, CFG,
+                     PodConfig(chips=4, strategy=MODEL_PARALLEL))
+    stage_cycles = [res.cycles for res in r.chip_results.values()]
+    assert r.batch_cycles == pytest.approx(sum(stage_cycles))
+    assert r.cycles_per_batch == pytest.approx(max(stage_cycles))
+    # Cut traffic shows up in the shard's traffic dict via extra_streams.
+    assert any("link_out" in res.traffic_words
+               or "link_in" in res.traffic_words
+               for res in r.chip_results.values())
+
+
+def test_degraded_pod_repartitions_over_survivors(logreg, single):
+    pod = PodConfig(chips=4)
+    clean = simulate_pod(logreg, CFG, pod)
+    degraded = simulate_pod(logreg, CFG, pod, failed_chips=(2,))
+    assert degraded.degraded
+    assert degraded.alive == (0, 1, 3)
+    assert degraded.failed == (2,)
+    # Three survivors: throughput lands between 2- and 4-chip pods.
+    assert degraded.cycles_per_batch > clean.cycles_per_batch
+    assert degraded.speedup(single) == pytest.approx(3.0, rel=0.2)
+
+
+def test_all_chips_failed_raises(logreg):
+    with pytest.raises(ChipFailure):
+        simulate_pod(logreg, CFG, PodConfig(chips=2), failed_chips=(0, 1))
+    with pytest.raises(ConfigError):
+        simulate_pod(logreg, CFG, PodConfig(chips=2), failed_chips=(5,))
+
+
+def test_pod_counters_and_chip_tagged_events(logreg):
+    with obs.collecting() as c:
+        simulate_pod(logreg, CFG, PodConfig(chips=2))
+    assert c.counters.get("pod.simulations") == 1
+    assert c.counters.get("pod.link_words", 0) > 0
+    chips = {e.chip for e in c.op_events if e.chip is not None}
+    assert chips == {0, 1}

@@ -9,6 +9,7 @@ on when it promises replayed results match fault-free execution.
 """
 
 import tempfile
+from pathlib import Path
 
 import numpy as np
 from hypothesis import given, settings
@@ -119,3 +120,42 @@ def test_checkpointed_simulation_cycles_deterministic(seed, level, every):
     plain = simulate(prog, cfg)
     assert first.cycles >= plain.cycles
     assert "ckpt" in first.traffic_words and "ckpt" not in plain.traffic_words
+
+
+def test_disk_store_torn_write_degrades_to_stale_checkpoint():
+    """Crash-mid-checkpoint regression: a payload without its manifest
+    (the write order guarantees this is the only torn shape) is counted
+    stale and recovery falls back to the newest *complete* checkpoint."""
+    from repro.obs import collector as obs
+
+    ctx, sk, rot = _context(3)
+    rng = np.random.default_rng(7)
+    state = {"acc": ctx.encrypt_values(
+        sk, 0.5 * rng.standard_normal(ctx.params.slots))}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = DiskStore(tmp)
+        store.save(take_checkpoint(ctx, state, 1))
+        store.save(take_checkpoint(ctx, state, 2))
+        # No temporary files survive a completed save.
+        leftovers = [p.name for p in Path(tmp).iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert store.steps() == [1, 2]
+
+        # Simulate the crash window: payload committed, manifest not.
+        store._path(2).with_suffix(".json").unlink()
+        with obs.collecting() as c:
+            assert store.steps() == [1]
+            fallback = store.latest()
+        assert c.counters["reliability.recovery.stale_checkpoints"] >= 1
+        assert fallback is not None and fallback.step == 1
+        # The stale payload is kept for post-mortems, never loaded.
+        assert store._path(2).exists()
+
+        # The torn payload half is also tolerated: manifest alone next.
+        store._path(2).unlink()
+        store.save(take_checkpoint(ctx, state, 2))
+        assert store.steps() == [1, 2]
+        restored = restore_checkpoint(store.load(2))
+        assert np.array_equal(restored["acc"].c0.data,
+                              state["acc"].c0.data)

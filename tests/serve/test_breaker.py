@@ -82,3 +82,71 @@ def test_rejects_nonsense_parameters():
         CircuitBreaker("t", threshold=0)
     with pytest.raises(ParameterError):
         CircuitBreaker("t", cooldown_s=-1.0)
+
+
+# -- HALF_OPEN edge cases (probe concurrency and reopen accounting) ---------
+
+def _opened(threshold=2, cooldown=1.0, at=0.0) -> CircuitBreaker:
+    br = CircuitBreaker("t", threshold=threshold, cooldown_s=cooldown)
+    for _ in range(threshold):
+        br.record_failure(at)
+    assert br.state == OPEN
+    return br
+
+
+def test_probe_in_flight_rejects_concurrent_arrivals():
+    """While the one probe slot is claimed, every further arrival in the
+    same half-open window is rejected and counted - a bad tenant gets at
+    most one speculative slot per cooldown."""
+    br = _opened(cooldown=1.0, at=0.0)
+    assert br.allow(1.0)                 # claims the probe slot
+    assert br.probing
+    probes_before = br.stats.probes
+    rejections_before = br.stats.rejections
+    for i in range(5):                   # concurrent arrivals pile in
+        assert not br.allow(1.0 + i * 1e-4)
+    assert br.stats.probes == probes_before       # no second probe
+    assert br.stats.rejections == rejections_before + 5
+    assert br.probing                    # slot still held by the probe
+
+
+def test_probe_failure_reopens_and_counts_a_fresh_open():
+    """A failed probe goes straight back to OPEN: opens increments,
+    the cooldown restarts from the failure time, and the *next* window
+    admits exactly one new probe."""
+    br = _opened(cooldown=1.0, at=0.0)
+    assert br.stats.opens == 1
+    assert br.allow(1.0)                 # probe window 1
+    assert br.record_failure(1.5)        # probe fails -> reopen
+    assert br.state == OPEN
+    assert br.stats.opens == 2
+    assert not br.probe_inflight
+    # Cooldown restarted at the failure, not the original open.
+    assert br.next_probe_at() == 2.5
+    assert not br.allow(2.4)             # still cooling down
+    assert br.allow(2.5)                 # probe window 2
+    assert br.stats.probes == 2
+
+
+def test_probe_success_closes_and_releases_the_slot():
+    br = _opened(cooldown=1.0, at=0.0)
+    assert br.allow(1.0)
+    br.record_success()
+    assert br.state == CLOSED
+    assert not br.probe_inflight
+    assert br.consecutive_failures == 0
+    # Closed again: arrivals flow without touching the probe counter.
+    probes = br.stats.probes
+    assert br.allow(1.1) and br.allow(1.2)
+    assert br.stats.probes == probes
+
+
+def test_half_open_entry_resets_stale_probe_flag():
+    """OPEN -> HALF_OPEN clears probe_inflight even if a previous
+    half-open window left it set (reopen path already clears it; this
+    pins the allow()-side reset too)."""
+    br = _opened(cooldown=1.0, at=0.0)
+    assert br.allow(1.0)                 # half-open, slot claimed
+    br.record_failure(1.0)               # reopen at t=1
+    assert br.allow(2.0)                 # new window admits a new probe
+    assert br.probing

@@ -1,0 +1,109 @@
+"""Pod-backed serving: lane dispatch, fail_chip degradation, typed
+capacity shedding, and the ETA retry-budget fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pod import PodConfig
+from repro.reliability.errors import (
+    ChipFailure,
+    DeadlineExceeded,
+    ParameterError,
+)
+from repro.serve import ServeConfig, Server
+
+
+def cfg(**kw):
+    base = dict(queue_depth=8, batch_window_s=1e-4, seed=11)
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def pod_server():
+    return Server(cfg(queue_depth=32), pod=PodConfig(chips=3))
+
+
+# -- ETA retry budget (satellite fix) ---------------------------------------
+
+def test_retry_budget_formula():
+    c = cfg(max_retries=2, backoff_base_s=1e-4, backoff_factor=2.0,
+            backoff_jitter=0.25)
+    # Ceiling pause = base * factor**(retries-1) * (1 + jitter).
+    assert c.retry_budget_s() == pytest.approx(2 * 1e-4 * 2.0 * 1.25)
+    assert cfg(admission_retry_budget=0.0).retry_budget_s() == 0.0
+    assert cfg(max_retries=0).retry_budget_s() == 0.0
+
+
+def test_eta_includes_retry_budget():
+    """A deadline that only fits the optimistic (no-fault) ETA is shed
+    at admission: the feasibility check now budgets for every retry
+    pausing at the backoff ceiling."""
+    s = Server(cfg())
+    optimistic = s._eta("logreg", 0.0) - s.cfg.retry_budget_s()
+    assert s.cfg.retry_budget_s() > 0
+    # Between the optimistic and budgeted ETA: must be shed now.
+    tight = optimistic + 0.5 * s.cfg.retry_budget_s()
+    with pytest.raises(DeadlineExceeded):
+        s.submit("t0", "logreg", np.zeros(16), deadline_s=tight)
+    assert s.tally["shed.deadline"] == 1
+    # Past the budgeted ETA: admitted.
+    s.submit("t0", "logreg", np.zeros(16),
+             deadline_s=s._eta("logreg", 0.0) * 1.01)
+    assert s.tally["admitted"] == 1
+
+
+def test_budget_knob_restores_optimistic_admission():
+    s = Server(cfg(admission_retry_budget=0.0))
+    base = Server(cfg())
+    tight = base._eta("logreg", 0.0) - 0.5 * base.cfg.retry_budget_s()
+    s.submit("t0", "logreg", np.zeros(16), deadline_s=tight)
+    assert s.tally["admitted"] == 1
+
+
+# -- pod lane dispatch --------------------------------------------------------
+
+def test_batches_fan_out_across_lanes(pod_server):
+    s = pod_server
+    s.queue.clear()
+    for k in s.alive:
+        s.chips_free_at[k] = s.clock.now()
+    # Two same-kind batches dispatched back to back at the same instant
+    # land on two different lanes (earliest-free, id-tiebroken).
+    for i in range(2 * s.cfg.max_batch):
+        s.submit(f"t{i}", "logreg", np.zeros(16), deadline_s=1.0)
+    assert s.pump() and s.pump()
+    lanes = [b.chip for b in s.batches[-2:]]
+    assert lanes[0] != lanes[1]
+
+
+def test_fail_chip_shrinks_capacity_and_eta():
+    s = Server(cfg(), pod=PodConfig(chips=2))
+    s.submit("t0", "logreg", np.zeros(16), deadline_s=1.0)
+    eta_full = s._eta("logreg", s.clock.now())
+    s.fail_chip(1)
+    eta_degraded = s._eta("logreg", s.clock.now())
+    assert eta_degraded > eta_full  # backlog drains over fewer lanes
+    assert s.tally["pod.chip_failures"] == 1
+    with pytest.raises(ParameterError):
+        s.fail_chip(1)  # already dead
+
+
+def test_empty_pod_sheds_typed(pod_server=None):
+    s = Server(cfg(), pod=PodConfig(chips=1))
+    s.fail_chip(0)
+    with pytest.raises(ChipFailure):
+        s.submit("t0", "logreg", np.zeros(16), deadline_s=1.0)
+    assert s.tally["shed.capacity"] == 1
+    assert s.tally["offered"] == 1
+    # next_wake never spins on a dead pod.
+    assert s.chip_free_at == float("inf")
+
+
+def test_single_chip_server_is_lane_zero():
+    s = Server(cfg())
+    assert s.chips_free_at == [0.0]
+    s.chip_free_at = 1.5  # setter used by older tests/tools
+    assert s.chips_free_at == [1.5]
+    assert s.chip_free_at == 1.5
