@@ -32,7 +32,7 @@ from repro.fhe.keyswitch import (
     generate_hint,
     standard_keyswitch,
 )
-from repro.fhe.poly import EVAL, RnsPoly
+from repro.fhe.poly import EVAL, RnsPoly, batch_rescale
 from repro.fhe.primes import find_ntt_primes
 from repro.fhe.rns import RnsBasis
 from repro.fhe.sampling import (
@@ -222,6 +222,14 @@ class CkksContext:
         self._hint_seeds = iter(range(10_000_000, 2**31))
         self._bootstrapper = None
         self._degrading = False
+        # Generated-hint cache (ARK-style inter-operation key reuse): a
+        # hint is a pure function of (secret key, kind, digit count) given
+        # this context's seed stream, so repeated requests - rotation fans
+        # re-deriving the same steps, serving lanes rebuilding transform
+        # pipelines - return the already-generated hint instead of
+        # re-sampling uniforms.  Values keep a strong reference to the
+        # secret key so the id() component of the key stays valid.
+        self._hint_cache: dict[tuple, tuple[SecretKey, KeySwitchHint]] = {}
 
     # -- bases -------------------------------------------------------------
 
@@ -426,23 +434,42 @@ class CkksContext:
         )
         return SecretKey(coeffs=coeffs)
 
+    def _cached_hint(self, sk: SecretKey, kind: str, digits: int | None,
+                     make) -> KeySwitchHint:
+        key = (id(sk), kind, self.params.digits if digits is None else digits)
+        entry = self._hint_cache.get(key)
+        if entry is not None:
+            obs.count("fhe.cache.hint.hit")
+            return entry[1]
+        obs.count("fhe.cache.hint.miss")
+        hint = make()
+        self._hint_cache[key] = (sk, hint)
+        return hint
+
     def relin_hint(self, sk: SecretKey, digits: int | None = None) -> KeySwitchHint:
         """Hint for s^2 -> s (homomorphic multiplication)."""
-        s = sk.poly(self.full_basis)
-        return self._make_hint(s * s, sk, digits, label="relin")
+        def make():
+            s = sk.poly(self.full_basis)
+            return self._make_hint(s * s, sk, digits, label="relin")
+        return self._cached_hint(sk, "relin", digits, make)
 
     def rotation_hint(
         self, sk: SecretKey, steps: int, digits: int | None = None
     ) -> KeySwitchHint:
         """Hint for phi_k(s) -> s where phi_k rotates slots by ``steps``."""
-        k = self.rotation_exponent(steps)
-        s_rot = sk.poly(self.full_basis).automorphism(k)
-        return self._make_hint(s_rot, sk, digits, label=f"rot{steps}")
+        def make():
+            k = self.rotation_exponent(steps)
+            s_rot = sk.poly(self.full_basis).automorphism(k)
+            return self._make_hint(s_rot, sk, digits, label=f"rot{steps}")
+        return self._cached_hint(sk, f"rot{steps % self.params.slots}",
+                                 digits, make)
 
     def conjugation_hint(self, sk: SecretKey, digits: int | None = None) -> KeySwitchHint:
-        k = 2 * self.params.degree - 1
-        s_conj = sk.poly(self.full_basis).automorphism(k)
-        return self._make_hint(s_conj, sk, digits, label="conj")
+        def make():
+            k = 2 * self.params.degree - 1
+            s_conj = sk.poly(self.full_basis).automorphism(k)
+            return self._make_hint(s_conj, sk, digits, label="conj")
+        return self._cached_hint(sk, "conj", digits, make)
 
     def standard_relin_hint(self, sk: SecretKey) -> KeySwitchHint:
         """Per-prime (BV) hint, the algorithm F1 accelerates; for comparison."""
@@ -587,7 +614,8 @@ class CkksContext:
         return self.mul_plain(a, pt)
 
     def pmult(self, a: Ciphertext, values,
-              result_scale: float | None = None) -> Ciphertext:
+              result_scale: float | None = None,
+              cache: dict | None = None, cache_key=None) -> Ciphertext:
         """Plaintext multiply + rescale with an exactly targeted result scale.
 
         CKKS scales drift when moduli are not exactly 2**28; summing
@@ -596,17 +624,67 @@ class CkksContext:
         plaintext as ``result_scale * q_last / a.scale`` so the product
         rescales to ``result_scale`` exactly.  The paper's compiler does the
         equivalent bookkeeping when it schedules plaintext operands.
+
+        ``cache``/``cache_key`` let callers that multiply by the same
+        operand repeatedly (BSGS diagonals, re-applied bootstrapping
+        transforms) memoize the encoded plaintext: the full key includes
+        the level and encoding scale, so a hit is exactly the Plaintext a
+        fresh encode would produce, and the encoder FFT + forward NTT are
+        skipped.
         """
         a = self._ensure_level(a, 2, "pmult")
         if result_scale is None:
             result_scale = a.scale
         q_last = float(a.basis.moduli[-1])
         enc_scale = result_scale * q_last / a.scale
-        pt = self.encode(values, level=a.level, scale=enc_scale)
+        pt = None
+        if cache is not None:
+            full_key = (cache_key, a.level, enc_scale)
+            pt = cache.get(full_key)
+            obs.count("fhe.cache.plaintext.hit" if pt is not None
+                      else "fhe.cache.plaintext.miss")
+        if pt is None:
+            pt = self.encode(values, level=a.level, scale=enc_scale)
+            if cache is not None:
+                cache[full_key] = pt
         out = self.rescale(self.mul_plain(a, pt))
         # Float bookkeeping may be off by an ulp; pin the declared scale.
         out.scale = result_scale
         return self._finish(out, "pmult", a)
+
+    def pmult_deferred(self, a: Ciphertext, values,
+                       result_scale: float | None = None,
+                       cache: dict | None = None, cache_key=None) -> Ciphertext:
+        """Plaintext multiply *without* the trailing rescale.
+
+        Same targeted-scale encoding as :meth:`pmult`, but the product is
+        returned at scale ``result_scale * q_last`` so an accumulator can
+        sum many such terms and rescale the sum once - the lazy-rescale
+        trick the BSGS inner loop uses.  One rescale per group instead of
+        one per diagonal removes almost all of the transform traffic the
+        per-term rescales would pay, and rounding once (instead of once
+        per term) can only shrink the accumulated rescale error.
+        """
+        a = self._ensure_level(a, 2, "pmult")
+        if result_scale is None:
+            result_scale = a.scale
+        q_last = float(a.basis.moduli[-1])
+        enc_scale = result_scale * q_last / a.scale
+        pt = None
+        if cache is not None:
+            full_key = (cache_key, a.level, enc_scale)
+            pt = cache.get(full_key)
+            obs.count("fhe.cache.plaintext.hit" if pt is not None
+                      else "fhe.cache.plaintext.miss")
+        if pt is None:
+            pt = self.encode(values, level=a.level, scale=enc_scale)
+            if cache is not None:
+                cache[full_key] = pt
+        out = self.mul_plain(a, pt)
+        # Pin the product scale so every deferred term in a sum agrees
+        # exactly; the caller's single rescale then lands on result_scale.
+        out.scale = result_scale * q_last
+        return out
 
     def multiply(self, a: Ciphertext, b: Ciphertext,
                  relin: KeySwitchHint) -> Ciphertext:
@@ -645,7 +723,9 @@ class CkksContext:
         """Drop the last prime, dividing the scale by it (trims noise)."""
         a = self._ensure_level(a, 2, "rescale")
         q_last = a.basis.moduli[-1]
-        out = Ciphertext(a.c0.rescale(), a.c1.rescale(), a.scale / q_last)
+        # Both halves share one stacked INTT/NTT pair (see batch_rescale).
+        c0, c1 = batch_rescale([a.c0, a.c1])
+        out = Ciphertext(c0, c1, a.scale / q_last)
         return self._finish(out, "rescale", a)
 
     def mod_drop(self, a: Ciphertext, levels: int = 1) -> Ciphertext:

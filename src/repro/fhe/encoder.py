@@ -87,11 +87,16 @@ class CkksEncoder:
             # corrupt coefficients silently; no parameter set in this repo
             # gets close (28-bit scales), so treat it as a usage error.
             raise OverflowError("encoded coefficients exceed 2^62; lower the scale")
-        return np.array([int(round(c)) for c in coeffs], dtype=object)
+        # np.rint matches Python round()'s half-to-even, so this vectorized
+        # rounding is bit-identical to the per-element int(round(c)) loop it
+        # replaces; int64 is exact here because |coeffs| < 2^62.
+        return np.rint(coeffs).astype(np.int64)
 
     def decode(self, coeffs, scale: float) -> np.ndarray:
         """Centered big-int coefficients -> complex slot values."""
-        as_float = np.array([float(c) for c in coeffs], dtype=np.float64)
+        # astype is a C-level cast even from object (big-int CRT) arrays,
+        # replacing the old per-element float() list comprehension.
+        as_float = np.asarray(coeffs).astype(np.float64)
         return self.embed(as_float) / scale
 
     def encode_poly(self, basis: RnsBasis, values, scale: float,

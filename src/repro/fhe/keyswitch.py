@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.fhe.ntt import BatchedNttContext
 from repro.fhe.poly import EVAL, RnsPoly
 from repro.fhe.rns import RnsBasis
 from repro.fhe.sampling import error_poly, seeded_uniform_poly
@@ -77,7 +78,13 @@ class KeySwitchHint:
         return len(self.b_polys)
 
     def a_poly(self, index: int) -> RnsPoly:
-        """The pseudorandom half of digit ``index``, expanded from the seed."""
+        """The pseudorandom half of digit ``index``, expanded from the seed.
+
+        Doubly cached: per hint instance here, and across hint instances in
+        :func:`repro.fhe.sampling.seeded_uniform_poly`'s keyed stream cache
+        (the ARK-style reuse - a regenerated or deserialized hint with the
+        same seed never re-expands its PRNG streams).
+        """
         poly = self._a_cache.get(index)
         if poly is None:
             poly = seeded_uniform_poly(
@@ -218,6 +225,8 @@ def mod_down(poly: RnsPoly, q_basis: RnsBasis, aux_basis: RnsBasis) -> RnsPoly:
 
     This is Listing 1 lines 7-10: the rounding step that removes the
     P-expansion after hint application, keeping keyswitch noise small.
+    The per-limb P^{-1} column is cached on the basis, so the division is
+    one limb-batched expression.
     """
     n_q = len(q_basis)
     coeff = poly.to_coeff()
@@ -225,12 +234,50 @@ def mod_down(poly: RnsPoly, q_basis: RnsBasis, aux_basis: RnsBasis) -> RnsPoly:
     p_part = RnsPoly(aux_basis, coeff.data[n_q:], "coeff")
     correction = p_part.change_basis(q_basis)
     diff = q_part - correction
-    out = np.empty_like(diff.data)
-    p_mod = aux_basis.modulus
-    for i, qi in enumerate(q_basis):
-        inv = pow(p_mod % qi, qi - 2, qi)
-        out[i] = diff.data[i] * np.uint64(inv) % np.uint64(qi)
+    inv_col = q_basis.scalar_inverse_col(aux_basis.modulus)
+    out = diff.data * inv_col % q_basis.moduli_col
     return RnsPoly(q_basis, out, "coeff").to_eval()
+
+
+def mod_down_pair(
+    p0: RnsPoly, p1: RnsPoly, q_basis: RnsBasis, aux_basis: RnsBasis
+) -> tuple[RnsPoly, RnsPoly]:
+    """ModDown of both keyswitch accumulators with shared, lazy transforms.
+
+    Same math as :func:`mod_down` (which tests keep as the reference
+    oracle), with two transform savings that are bit-exact by NTT
+    linearity and row independence:
+
+    * the pair is stacked, so each transform is one batched call over a
+      (2, ..., N) tensor instead of two;
+    * only the P special-basis rows are inverse-transformed (the base
+      conversion needs their coefficients) and only the Q-basis
+      correction is forward-transformed - the Q rows of the accumulators
+      never leave the EVAL domain, because subtraction and the P^{-1}
+      multiply commute with the NTT modulo each q_i.
+
+    The base conversion handles both coefficient blocks in one call
+    (``convert_approx`` is column-independent, so concatenating the two
+    polynomials along the coefficient axis is exact).
+    """
+    n_q = len(q_basis)
+    degree = p0.degree
+    if p0.domain != EVAL or p1.domain != EVAL:
+        return (mod_down(p0, q_basis, aux_basis),
+                mod_down(p1, q_basis, aux_basis))
+    aux_coeff = BatchedNttContext.get(aux_basis.moduli, degree).inverse(
+        np.stack([p0.data[n_q:], p1.data[n_q:]])
+    )
+    p_rows = np.concatenate([aux_coeff[0], aux_coeff[1]], axis=1)
+    corr = aux_basis.convert_approx(p_rows, q_basis)
+    corr = BatchedNttContext.get(q_basis.moduli, degree).forward(
+        np.stack([corr[:, :degree], corr[:, degree:]])
+    )
+    q_col = q_basis.moduli_col
+    inv_col = q_basis.scalar_inverse_col(aux_basis.modulus)
+    q_rows = np.stack([p0.data[:n_q], p1.data[:n_q]])
+    out = (q_rows + q_col - corr) % q_col * inv_col % q_col
+    return RnsPoly(q_basis, out[0], EVAL), RnsPoly(q_basis, out[1], EVAL)
 
 
 def boosted_keyswitch(
@@ -253,8 +300,7 @@ def boosted_keyswitch(
         target = q_level.extend(aux_basis)
         coeff = poly.to_coeff()
         acc0, acc1 = _accumulate_digits(coeff, hint, target)
-        ks0 = mod_down(acc0, q_level, aux_basis)
-        ks1 = mod_down(acc1, q_level, aux_basis)
+        ks0, ks1 = mod_down_pair(acc0, acc1, q_level, aux_basis)
         # The keyswitch working set displaces register-file residents: let
         # an installed integrity boundary hook sweep the evictees' seals.
         _guards.keyswitch_boundary()

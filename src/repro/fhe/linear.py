@@ -93,6 +93,17 @@ class LinearTransform:
         self.groups: dict[int, list[int]] = {}
         for d in self.diagonals:
             self.groups.setdefault(d // self.n1 * self.n1, []).append(d)
+        # The giant-step pre-rotation of each diagonal is fixed by d, so
+        # roll once here; and the encoded plaintext each application
+        # multiplies by depends only on (d, level, encoding scale), so
+        # repeated applications (every bootstrap reuses its CoeffToSlot /
+        # SlotToCoeff matrices) hit this cache instead of re-running the
+        # encoder FFT and a forward NTT per diagonal.
+        self._rolled = {
+            d: np.roll(diag, d // self.n1 * self.n1)
+            for d, diag in self.diagonals.items()
+        }
+        self._pt_cache: dict[tuple, object] = {}
 
     def required_rotations(self) -> set[int]:
         """Rotation steps whose hints :meth:`apply` will need."""
@@ -123,11 +134,17 @@ class LinearTransform:
                 rotated[b] = ctx.rotate(ct, b, rotation_hints[b])
         total = None
         for g, dlist in sorted(self.groups.items()):
+            # Lazy rescale: every diagonal product is accumulated at scale
+            # result_scale * q_last and the *sum* is rescaled once, so a
+            # group of k diagonals pays one rescale instead of k.
             inner = None
             for d in sorted(dlist):
-                diag = np.roll(self.diagonals[d], g)
-                term = ctx.pmult(rotated[d % self.n1], diag, result_scale)
+                term = ctx.pmult_deferred(rotated[d % self.n1],
+                                          self._rolled[d], result_scale,
+                                          cache=self._pt_cache, cache_key=d)
                 inner = add_any(ctx, inner, term)
+            inner = ctx.rescale(inner)
+            inner.scale = result_scale
             if g:
                 inner = ctx.rotate(inner, g, rotation_hints[g])
             total = add_any(ctx, total, inner)

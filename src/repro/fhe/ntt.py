@@ -39,6 +39,71 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
     return rev
 
 
+_AUTO_PERM_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def eval_automorphism_permutation(degree: int, k: int) -> np.ndarray:
+    """Index permutation realizing x -> x^k directly on EVAL-domain data.
+
+    The forward negacyclic NTT stores the evaluation at w_j =
+    psi^(2*br(j)+1) in slot j (bit-reversed order).  The automorphism
+    sends the evaluation at w to the evaluation at w^k, so
+    ``out[j] = in[perm[j]]`` with ``2*br(perm[j])+1 = k*(2*br(j)+1) mod
+    2N`` (well defined because k is odd).  Pure data movement - no
+    transforms, no modular arithmetic - and modulus-independent, so one
+    table serves every limb of a residue matrix, exactly how the hardware
+    automorphism unit permutes NTT-domain residues without leaving the
+    evaluation domain.  Cached per (degree, k mod 2N).
+    """
+    if k % 2 == 0:
+        raise ParameterError("automorphism exponent must be odd", k=k)
+    key = (degree, k % (2 * degree))
+    perm = _AUTO_PERM_CACHE.get(key)
+    if perm is None:
+        rev = bit_reverse_permutation(degree)
+        exps = key[1] * (2 * rev + 1) % (2 * degree)
+        perm = np.argsort(rev)[(exps - 1) // 2]
+        perm.setflags(write=False)
+        _AUTO_PERM_CACHE[key] = perm
+    return perm
+
+
+def power_table(base: int, count: int, modulus: int) -> np.ndarray:
+    """``[base^0, base^1, ..., base^(count-1)] mod modulus`` as uint64.
+
+    Square-and-multiply over the exponent's bit decomposition: log2(count)
+    vectorized multiplies instead of a length-``count`` Python loop.  Safe
+    in uint64 because factors stay below the 31-bit modulus.
+    """
+    q = np.uint64(modulus)
+    out = np.ones(count, dtype=np.uint64)
+    idx = np.arange(count, dtype=np.uint64)
+    sq = base % modulus
+    for b in range(max(1, count - 1).bit_length()):
+        hit = (idx >> np.uint64(b)) & np.uint64(1) == 1
+        out[hit] = out[hit] * np.uint64(sq) % q
+        sq = sq * sq % modulus
+    return out
+
+
+def mod_pow_vec(base: np.ndarray, exponent: int, modulus: int) -> np.ndarray:
+    """Elementwise ``base^exponent mod modulus`` for a fixed scalar exponent.
+
+    Vectorized square-and-multiply (one vector multiply per exponent bit);
+    replaces per-element Python ``pow()`` loops.
+    """
+    q = np.uint64(modulus)
+    out = np.ones_like(base, dtype=np.uint64)
+    sq = np.asarray(base, dtype=np.uint64) % q
+    e = int(exponent)
+    while e:
+        if e & 1:
+            out = out * sq % q
+        sq = sq * sq % q
+        e >>= 1
+    return out
+
+
 class NttContext:
     """Precomputed tables for the negacyclic NTT modulo one prime.
 
@@ -63,15 +128,8 @@ class NttContext:
         psi = root_of_unity(modulus, 2 * degree)
         psi_inv = pow(psi, modulus - 2, modulus)
         rev = bit_reverse_permutation(degree)
-        powers = np.empty(degree, dtype=np.uint64)
-        powers_inv = np.empty(degree, dtype=np.uint64)
-        acc = 1
-        acc_inv = 1
-        for i in range(degree):
-            powers[i] = acc
-            powers_inv[i] = acc_inv
-            acc = acc * psi % modulus
-            acc_inv = acc_inv * psi_inv % modulus
+        powers = power_table(psi, degree, modulus)
+        powers_inv = power_table(psi_inv, degree, modulus)
         # Twiddles indexed in bit-reversed order, as consumed stage by stage.
         self.psi_bitrev = powers[rev]
         self.psi_inv_bitrev = powers_inv[rev]
@@ -154,11 +212,16 @@ class NttContext:
     def _inverse_check_vector(self) -> np.ndarray:
         c = self._inv_check_vec
         if c is None:
-            q = self.modulus
-            c = np.empty(self.degree, dtype=np.uint64)
-            for j in range(self.degree):
-                w = pow(self._psi, 2 * int(self._rev[j]) + 1, q)
-                c[j] = 2 * w * pow((w - 1) % q, q - 2, q) % q
+            q = np.uint64(self.modulus)
+            # w_j = psi^(2*rev[j]+1) = psi * (psi^2)^rev[j], all vectorized.
+            sq_powers = power_table(
+                self._psi * self._psi % self.modulus, self.degree, self.modulus
+            )
+            w = np.uint64(self._psi) * sq_powers[self._rev] % q
+            # (w - 1)^-1 mod q by Fermat: one vector multiply per modulus bit.
+            inv = mod_pow_vec((w + q - np.uint64(1)) % q, self.modulus - 2,
+                              self.modulus)
+            c = np.uint64(2) * w % q * inv % q
             self._inv_check_vec = c
         return c
 
@@ -239,6 +302,193 @@ class NttContext:
         fa = self.forward(a)
         fb = self.forward(b)
         return self.inverse(fa * fb % np.uint64(self.modulus))
+
+
+class BatchedNttContext:
+    """Limb-batched negacyclic NTT over a whole RNS basis.
+
+    All L residue polynomials of an ``RnsPoly`` are transformed in one
+    call: the data stays a single ``(L, N)`` uint64 matrix and every
+    Cooley-Tukey / Gentleman-Sande layer is one numpy expression with a
+    per-row modulus column - the layered-FSM idiom (iterate layers, never
+    recurse, no data movement between layers) that warp-core's ping-pong
+    NTT engine uses in hardware.  Twiddle tables are the per-limb
+    :class:`NttContext` tables stacked into ``(L, N)`` matrices, so the
+    batched kernel is bit-exact against the per-limb reference by
+    construction (same butterfly order, same reductions, per row).
+
+    Reliability semantics are preserved at the same sites as the per-limb
+    path: an installed fault injector corrupts the batched *output* (one
+    word of one limb - per-limb faults still exist), and the integrity
+    switch verifies the end-of-op transform checksum row by row in one
+    vectorized pass (see :meth:`verify_transform`).
+
+    Instances are cached per (moduli tuple, degree) via :meth:`get`.
+    """
+
+    _cache: dict[tuple[tuple[int, ...], int], "BatchedNttContext"] = {}
+
+    def __init__(self, moduli: tuple[int, ...], degree: int):
+        self.moduli = tuple(int(q) for q in moduli)
+        self.degree = degree
+        limbs = [NttContext.get(q, degree) for q in self.moduli]
+        self._limbs = limbs
+        self.q_col = np.array(self.moduli, dtype=np.uint64)[:, None]
+        self.psi_bitrev = np.stack([c.psi_bitrev for c in limbs])
+        self.psi_inv_bitrev = np.stack([c.psi_inv_bitrev for c in limbs])
+        self.n_inv_col = np.array([c.n_inv for c in limbs],
+                                  dtype=np.uint64)[:, None]
+        self.n_mod_col = np.array([degree % q for q in self.moduli],
+                                  dtype=np.uint64)[:, None]
+        self._inv_check_mat: np.ndarray | None = None
+
+    @classmethod
+    def get(cls, moduli, degree: int) -> "BatchedNttContext":
+        key = (tuple(int(q) for q in moduli), degree)
+        ctx = cls._cache.get(key)
+        if ctx is None:
+            ctx = cls(key[0], degree)
+            cls._cache[key] = ctx
+        return ctx
+
+    @property
+    def level(self) -> int:
+        return len(self.moduli)
+
+    def forward(self, data: np.ndarray) -> np.ndarray:
+        """Batched negacyclic NTT of a (..., L, N) residue tensor.
+
+        Leading axes batch independent polynomials (e.g. both halves of a
+        ciphertext) through one set of layer passes; the per-row moduli
+        broadcast across them.
+        """
+        if obs.is_enabled():
+            with obs.span("ntt.forward", "fhe"):
+                obs.count("fhe.ntt.forward")
+                obs.count("fhe.batch.ntt_rows", data.size // self.degree)
+                out = self._forward(data)
+        else:
+            out = self._forward(data)
+        return self._post_transform(data, out, self._forward, False)
+
+    def inverse(self, data: np.ndarray) -> np.ndarray:
+        """Batched inverse negacyclic NTT of a (..., L, N) evaluation tensor."""
+        if obs.is_enabled():
+            with obs.span("ntt.inverse", "fhe"):
+                obs.count("fhe.ntt.inverse")
+                obs.count("fhe.batch.ntt_rows", data.size // self.degree)
+                out = self._inverse(data)
+        else:
+            out = self._inverse(data)
+        return self._post_transform(data, out, self._inverse, True)
+
+    def _forward(self, data: np.ndarray) -> np.ndarray:
+        # One true modular reduction (the twiddle product) per layer; the
+        # butterfly sums stay below 2q, so ``min(w, w - q)`` finishes the
+        # reduction with the unsigned-wraparound trick instead of a second
+        # and third integer division - same reduced values, bit for bit.
+        n = self.degree
+        q = self.q_col[:, :, None]  # (L, 1, 1): one modulus per row
+        a = np.array(data, dtype=np.uint64, copy=True)
+        lead = a.shape[:-1]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            s = self.psi_bitrev[:, m : 2 * m]  # (L, m) twiddles this layer
+            blocks = a.reshape(*lead, m, 2 * t)
+            u = blocks[..., :t]
+            v = blocks[..., t:] * s[:, :, None] % q
+            w_add = u + v
+            w_sub = u + (q - v)
+            blocks[..., :t] = np.minimum(w_add, w_add - q)
+            blocks[..., t:] = np.minimum(w_sub, w_sub - q)
+            m *= 2
+        return a
+
+    def _inverse(self, data: np.ndarray) -> np.ndarray:
+        n = self.degree
+        q = self.q_col[:, :, None]
+        a = np.array(data, dtype=np.uint64, copy=True)
+        lead = a.shape[:-1]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            s = self.psi_inv_bitrev[:, h : 2 * h]
+            blocks = a.reshape(*lead, h, 2 * t)
+            u = blocks[..., :t].copy()
+            v = blocks[..., t:]
+            w_add = u + v
+            blocks[..., :t] = np.minimum(w_add, w_add - q)
+            # (u + q - v) < 2q < 2^32 times a 31-bit twiddle stays under
+            # 2^63, so the difference can enter the product unreduced.
+            blocks[..., t:] = (u + q - v) * s[:, :, None] % q
+            t *= 2
+            m = h
+        return a * self.n_inv_col % self.q_col
+
+    def _post_transform(self, data, out, kernel, inverse: bool):
+        """Reliability tail, batched: same sites as the per-limb path.
+
+        The fault hook sees the whole (L, N) output, so an injected
+        corruption lands in one word of one limb - exactly the per-limb
+        fault model.  The transform checksum then verifies every limb row
+        in one vectorized pass.
+        """
+        injector = _faults.active_injector()
+        if injector is not None:
+            injector.maybe_corrupt(_faults.NTT, out)
+        integ = _guards.integrity_active()
+        if integ is not None:
+            if integ.ntt_checksum:
+                self.verify_transform(data, out, inverse)
+            if integ.ntt_recheck_every:
+                integ.ntt_calls += 1
+                if integ.ntt_calls % integ.ntt_recheck_every == 0:
+                    with obs.span("reliability.ntt.recheck", "reliability"):
+                        obs.count("reliability.ntt.recheck")
+                        if not np.array_equal(out, kernel(data)):
+                            raise FaultDetectedError(
+                                "batched NTT re-execution disagrees with "
+                                "first run; compute fault in a butterfly",
+                                moduli=self.moduli, degree=self.degree,
+                            )
+        return out
+
+    def _inverse_check_matrix(self) -> np.ndarray:
+        c = self._inv_check_mat
+        if c is None:
+            c = np.stack([ctx._inverse_check_vector() for ctx in self._limbs])
+            self._inv_check_mat = c
+        return c
+
+    def verify_transform(self, data, out, inverse: bool) -> None:
+        """Row-wise transform checksums of a batched (i)NTT in one pass.
+
+        Same linear functionals as :meth:`NttContext.verify_transform`,
+        evaluated for all L limbs with per-row moduli; raises
+        :class:`FaultDetectedError` naming the mismatching limbs.
+        """
+        with obs.span("reliability.ntt.checksum", "reliability"):
+            obs.count("reliability.ntt.checksum")
+            q = self.q_col[:, 0]
+            n_mod = self.n_mod_col[:, 0]
+            data = np.asarray(data, dtype=np.uint64)
+            if inverse:
+                expect = (self._inverse_check_matrix() * data % self.q_col
+                          ).sum(axis=-1, dtype=np.uint64) % q
+                got = n_mod * (out.sum(axis=-1, dtype=np.uint64) % q) % q
+            else:
+                expect = n_mod * data[..., 0] % q
+                got = out.sum(axis=-1, dtype=np.uint64) % q
+            if not np.array_equal(got, expect):
+                bad = sorted({int(i) for i in np.nonzero(got != expect)[-1]})
+                raise FaultDetectedError(
+                    "transform checksum mismatch; compute fault in an "
+                    f"{'iNTT' if inverse else 'NTT'} butterfly",
+                    limbs=bad, degree=self.degree,
+                )
 
 
 def naive_negacyclic_convolution(a, b, modulus: int) -> np.ndarray:

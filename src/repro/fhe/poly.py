@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fhe.ntt import NttContext
+from repro.fhe.ntt import BatchedNttContext, eval_automorphism_permutation
 from repro.fhe.rns import RnsBasis
 from repro.reliability.errors import (
     LevelMismatchError,
@@ -105,37 +105,39 @@ class RnsPoly:
     def to_eval(self) -> "RnsPoly":
         if self.domain == EVAL:
             return self
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis):
-            out[i] = NttContext.get(q, self.degree).forward(self.data[i])
-        return RnsPoly(self.basis, out, EVAL)
+        ntt = BatchedNttContext.get(self.basis.moduli, self.degree)
+        return RnsPoly(self.basis, ntt.forward(self.data), EVAL)
 
     def to_coeff(self) -> "RnsPoly":
         if self.domain == COEFF:
             return self
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis):
-            out[i] = NttContext.get(q, self.degree).inverse(self.data[i])
-        return RnsPoly(self.basis, out, COEFF)
+        ntt = BatchedNttContext.get(self.basis.moduli, self.degree)
+        return RnsPoly(self.basis, ntt.inverse(self.data), COEFF)
 
     # -- ring arithmetic ---------------------------------------------------
 
     def _moduli_column(self) -> np.ndarray:
-        return np.array(self.basis.moduli, dtype=np.uint64)[:, None]
+        return self.basis.moduli_col
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
         q = self._moduli_column()
-        return RnsPoly(self.basis, (self.data + other.data) % q, self.domain)
+        # Operands are canonical (< q), so the sum is < 2q and one
+        # conditional subtraction - min(w, w - q) with unsigned wraparound -
+        # reduces it without a division, to the same value bit for bit.
+        w = self.data + other.data
+        return RnsPoly(self.basis, np.minimum(w, w - q), self.domain)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
         q = self._moduli_column()
-        return RnsPoly(self.basis, (self.data + q - other.data) % q, self.domain)
+        w = self.data + q - other.data
+        return RnsPoly(self.basis, np.minimum(w, w - q), self.domain)
 
     def __neg__(self) -> "RnsPoly":
         q = self._moduli_column()
-        return RnsPoly(self.basis, (q - self.data) % q, self.domain)
+        w = q - self.data
+        return RnsPoly(self.basis, np.minimum(w, w - q), self.domain)
 
     def __mul__(self, other) -> "RnsPoly":
         if isinstance(other, RnsPoly):
@@ -149,11 +151,14 @@ class RnsPoly:
         return self.scalar_mul(int(other))
 
     def scalar_mul(self, scalar: int) -> "RnsPoly":
-        """Multiply by an integer constant (applied per residue)."""
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis):
-            out[i] = self.data[i] * np.uint64(scalar % q) % np.uint64(q)
-        return RnsPoly(self.basis, out, self.domain)
+        """Multiply by an integer constant (applied per residue).
+
+        Limb-batched: the scalar's per-limb residues form a column and the
+        multiply-reduce is one broadcast expression over the (L, N) matrix.
+        """
+        q = self.basis.moduli_col
+        s = self.basis.scalar_residue_col(scalar)
+        return RnsPoly(self.basis, self.data * s % q, self.domain)
 
     # -- structure operations ----------------------------------------------
 
@@ -161,16 +166,23 @@ class RnsPoly:
         """Apply x -> x^k (k odd), the ring operation behind rotations.
 
         Coefficient i maps to index i*k mod 2N with a sign flip when the
-        product wraps past N.  Implemented in the coefficient domain; the
-        hardware performs an equivalent permutation with its automorphism
-        unit plus two transposes.
+        product wraps past N.  In the EVAL domain the same map is a pure
+        permutation of the evaluation points (the NTT is a bijection, so
+        the result is bit-identical to transforming, permuting and
+        transforming back) - the zero-NTT path every rotation takes, and
+        what the hardware automorphism unit does with two transposes.
         """
         n = self.degree
         if k % 2 == 0:
             raise ParameterError("automorphism exponent must be odd", k=k)
         k %= 2 * n
-        was_eval = self.domain == EVAL
-        poly = self.to_coeff() if was_eval else self
+        if self.domain == EVAL:
+            perm = eval_automorphism_permutation(n, k)
+            # take() keeps the result C-contiguous (fancy indexing here
+            # would hand back an F-ordered buffer) and is measurably
+            # faster than self.data[:, perm].
+            return RnsPoly(self.basis, self.data.take(perm, axis=1), EVAL)
+        poly = self
         idx = np.arange(n, dtype=np.int64) * k % (2 * n)
         sign_flip = idx >= n
         dest = np.where(sign_flip, idx - n, idx)
@@ -178,8 +190,7 @@ class RnsPoly:
         q = poly._moduli_column()
         out[:, dest] = np.where(sign_flip[None, :], (q - poly.data) % q, poly.data)
         # x^0 never flips; (q - 0) % q is 0 so the formula is safe for zeros.
-        result = RnsPoly(poly.basis, out, COEFF)
-        return result.to_eval() if was_eval else result
+        return RnsPoly(poly.basis, out, COEFF)
 
     def drop_last_modulus(self) -> "RnsPoly":
         """Forget the last residue row (used when operands must align)."""
@@ -202,16 +213,17 @@ class RnsPoly:
         q_last = poly.basis.moduli[-1]
         last_row = poly.data[-1]
         new_basis = poly.basis.drop_last()
-        out = np.empty((len(new_basis), poly.degree), dtype=np.uint64)
         # Centered correction keeps the rounding error at most 1/2.
         centered = last_row.astype(np.int64) - np.int64(q_last) * (
             last_row > np.uint64(q_last // 2)
         )
-        for i, qi in enumerate(new_basis):
-            qi64 = np.uint64(qi)
-            inv = np.uint64(pow(q_last % qi, qi - 2, qi))
-            corr = np.mod(centered, qi).astype(np.uint64)
-            out[i] = (poly.data[i] + qi64 - corr) % qi64 * inv % qi64
+        # Limb-batched: per-limb q_last inverses are a cached column, the
+        # centered correction broadcasts against the (L-1, 1) moduli, and
+        # the whole divide-and-round is two vector expressions.
+        q_col = new_basis.moduli_col
+        inv_col = poly.basis.rescale_inv_col
+        corr = np.mod(centered[None, :], q_col.astype(np.int64)).astype(np.uint64)
+        out = (poly.data[:-1] + q_col - corr) % q_col * inv_col % q_col
         result = RnsPoly(new_basis, out, COEFF)
         return result.to_eval() if was_eval else result
 
@@ -235,3 +247,52 @@ class RnsPoly:
     def to_integers(self) -> np.ndarray:
         """Centered big-int coefficients (coefficient domain)."""
         return self.basis.to_integers(self.to_coeff().data, centered=True)
+
+
+def batch_rescale(polys: list[RnsPoly]) -> list[RnsPoly]:
+    """Rescale several same-basis polynomials with shared transforms.
+
+    The (L, N) residue matrices are stacked into one (k, L, N) tensor so
+    every transform runs as a single batched call, and the arithmetic
+    broadcasts across all k polynomials (a ciphertext rescales both
+    halves this way).  EVAL-domain inputs additionally take the lazy
+    path: only the dropped limb is inverse-transformed and only the
+    correction is forward-transformed, instead of round-tripping all L
+    limbs.  Bit-exact against per-poly :meth:`RnsPoly.rescale` (which
+    tests keep as the reference oracle) by NTT linearity.
+    """
+    first = polys[0]
+    for p in polys[1:]:
+        first._check_compatible(p)
+    if first.level < 2:
+        raise NoiseBudgetExhaustedError(
+            "cannot rescale a level-1 polynomial; bootstrap to restore budget"
+        )
+    was_eval = first.domain == EVAL
+    data = np.stack([p.data for p in polys])
+    q_last = first.basis.moduli[-1]
+    new_basis = first.basis.drop_last()
+    if was_eval:
+        # Only the last limb needs its coefficients: INTT one row per
+        # polynomial, correct in the coefficient domain, NTT the correction
+        # back, and subtract in EVAL.  The subtraction and the q_last^{-1}
+        # multiply commute with the (linear) NTT modulo each q_i, and a
+        # residue's reduced representative is unique, so this is bit-exact
+        # against the full INTT -> correct -> NTT round trip while moving
+        # half as many rows through the transforms.
+        last = BatchedNttContext.get((q_last,), first.degree).inverse(
+            data[:, -1:, :]
+        )[:, 0, :]
+    else:
+        last = data[:, -1, :]
+    centered = last.astype(np.int64) - np.int64(q_last) * (
+        last > np.uint64(q_last // 2)
+    )
+    q_col = new_basis.moduli_col
+    inv_col = first.basis.rescale_inv_col
+    corr = np.mod(centered[:, None, :], q_col.astype(np.int64)).astype(np.uint64)
+    if was_eval:
+        corr = BatchedNttContext.get(new_basis.moduli, first.degree).forward(corr)
+    out = (data[:, :-1] + q_col - corr) % q_col * inv_col % q_col
+    domain = EVAL if was_eval else COEFF
+    return [RnsPoly(new_basis, out[i], domain) for i in range(len(polys))]

@@ -24,6 +24,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.obs import collector as obs
 from repro.reliability.errors import NoiseBudgetExhaustedError, ParameterError
 
 
@@ -37,6 +38,11 @@ class RnsBasis:
         if len(set(moduli)) != len(moduli):
             raise ParameterError("moduli must be distinct")
         self.moduli = moduli
+        # ARK-style reuse caches: constant matrices and scalar-inverse
+        # columns are pure functions of the bases involved, so they are
+        # computed once per (basis, key) and replayed on every keyswitch.
+        self._conv_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._inv_cache: dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.moduli)
@@ -83,6 +89,49 @@ class RnsBasis:
             pow(h % qi, qi - 2, qi) for h, qi in zip(self._q_hats, self.moduli)
         )
 
+    @cached_property
+    def moduli_col(self) -> np.ndarray:
+        """The moduli as a (L, 1) uint64 column, for limb-stacked kernels."""
+        return np.array(self.moduli, dtype=np.uint64)[:, None]
+
+    @cached_property
+    def _q_hat_inv_col(self) -> np.ndarray:
+        """(Q/q_i)^{-1} mod q_i as a (L, 1) uint64 column."""
+        return np.array(self._q_hat_invs, dtype=np.uint64)[:, None]
+
+    @cached_property
+    def rescale_inv_col(self) -> np.ndarray:
+        """q_last^{-1} mod q_i for i < L-1, as a (L-1, 1) column.
+
+        The per-limb constant the CKKS rescale multiplies by; computed once
+        per basis instead of one Python ``pow()`` per limb per rescale.
+        """
+        q_last = self.moduli[-1]
+        return np.array(
+            [pow(q_last % qi, qi - 2, qi) for qi in self.moduli[:-1]],
+            dtype=np.uint64,
+        )[:, None]
+
+    def scalar_inverse_col(self, value: int) -> np.ndarray:
+        """``value^{-1} mod q_i`` for every limb, as a cached (L, 1) column.
+
+        Used by ModDown (P^{-1} over Q) and any other per-limb scalar
+        division; keyed by ``value`` so repeated keyswitches reuse it.
+        """
+        col = self._inv_cache.get(value)
+        if col is None:
+            col = np.array(
+                [pow(value % qi, qi - 2, qi) for qi in self.moduli],
+                dtype=np.uint64,
+            )[:, None]
+            self._inv_cache[value] = col
+        return col
+
+    def scalar_residue_col(self, value: int) -> np.ndarray:
+        """``value mod q_i`` for every limb, as a (L, 1) uint64 column."""
+        return np.array([value % qi for qi in self.moduli],
+                        dtype=np.uint64)[:, None]
+
     def extend(self, other: "RnsBasis") -> "RnsBasis":
         overlap = set(self.moduli) & set(other.moduli)
         if overlap:
@@ -100,7 +149,27 @@ class RnsBasis:
     # ------------------------------------------------------------------
 
     def to_residues(self, values) -> np.ndarray:
-        """Integers (any size, possibly negative) -> residue matrix (L, N)."""
+        """Integers (any size, possibly negative) -> residue matrix (L, N).
+
+        Machine-width integer input (the common case: encoder output,
+        error/secret samples) is reduced for all limbs in one broadcast
+        modulo; arbitrary-precision input falls back to per-limb big-int
+        reduction.
+        """
+        if isinstance(values, np.ndarray):
+            # Only a caller-built ndarray takes the vectorized path: the
+            # caller chose the dtype, so it is trusted to be lossless.
+            # (np.asarray on a plain list of large Python ints silently
+            # promotes to float64 or wraps through int64 - lists always
+            # go through the exact big-int loop below.)
+            if np.issubdtype(values.dtype, np.unsignedinteger):
+                # Non-negative by construction: broadcast modulo in uint64.
+                return values[None, :].astype(np.uint64) % self.moduli_col
+            if np.issubdtype(values.dtype, np.signedinteger):
+                # Broadcast (1, N) % (L, 1): numpy's % matches Python's
+                # sign convention, so negatives land in [0, q) as required.
+                cols = self.moduli_col.astype(np.int64)
+                return (values[None, :].astype(np.int64) % cols).astype(np.uint64)
         vals = np.asarray(values, dtype=object)
         out = np.empty((len(self), vals.shape[0]), dtype=np.uint64)
         for i, qi in enumerate(self.moduli):
@@ -132,13 +201,39 @@ class RnsBasis:
 
         These are exactly the ``constant[srcModIdx][destModIdx]`` values that
         Listing 1's changeRNSBase multiplies by, and the values held in the
-        CRB unit's constant registers.
+        CRB unit's constant registers - which is also why the matrix is
+        cached per destination basis here: the registers are loaded once and
+        reused across every keyswitch at this level.
         """
+        return self._conversion_tables(dest)[0]
+
+    def _conversion_tables(
+        self, dest: "RnsBasis"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (constants, dest moduli column, Q mod p_dest column)."""
+        cached = self._conv_cache.get(dest.moduli)
+        if cached is not None:
+            obs.count("fhe.cache.conversion.hit")
+            return cached
+        obs.count("fhe.cache.conversion.miss")
         c = np.empty((len(self), len(dest)), dtype=np.uint64)
         for i, q_hat in enumerate(self._q_hats):
             for j, pj in enumerate(dest.moduli):
                 c[i, j] = q_hat % pj
-        return c
+        dest_col = np.array(dest.moduli, dtype=np.uint64)[:, None]
+        qmod_col = np.array(
+            [self.modulus % pj for pj in dest.moduli], dtype=np.uint64
+        )[:, None]
+        # 16-bit halves of the transposed constant matrix: the MAC in
+        # convert_approx accumulates hi/lo partial dot products without any
+        # per-term reduction (terms stay < 2^47, so thousands of source
+        # limbs fit in uint64) and reduces once per destination row.
+        c_t = np.ascontiguousarray(c.T)
+        mask = np.uint64(0xFFFF)
+        tables = (c, dest_col, qmod_col,
+                  c_t >> np.uint64(16), c_t & mask)
+        self._conv_cache[dest.moduli] = tables
+        return tables
 
     def convert_approx(
         self, residues: np.ndarray, dest: "RnsBasis", correct: bool = True
@@ -161,26 +256,36 @@ class RnsBasis:
                 "residue count does not match basis size",
                 rows=residues.shape[0], basis=len(self),
             )
-        scaled = np.empty_like(residues)
-        fraction = np.zeros(residues.shape[1], dtype=np.float64)
-        for i, qi in enumerate(self.moduli):
-            scaled[i] = residues[i] * np.uint64(self._q_hat_invs[i]) % np.uint64(qi)
-            if correct:
+        # Limb-batched scaling: one broadcast multiply for all source rows.
+        scaled = residues * self._q_hat_inv_col % self.moduli_col
+        overflow = None
+        if correct:
+            # The float accumulation stays a sequential per-row loop on
+            # purpose: summation order affects the final ulp, and the
+            # rounded overflow estimate must stay bit-identical to the
+            # historical kernel (each row op is still N-vectorized).
+            fraction = np.zeros(residues.shape[1], dtype=np.float64)
+            for i, qi in enumerate(self.moduli):
                 fraction += scaled[i].astype(np.float64) / qi
-        consts = self.conversion_constants(dest)
-        out = np.zeros((len(dest), residues.shape[1]), dtype=np.uint64)
-        overflow = np.rint(fraction).astype(np.uint64) if correct else None
-        for j, pj in enumerate(dest.moduli):
-            pj64 = np.uint64(pj)
-            acc = out[j]
-            for i in range(len(self)):
-                acc += scaled[i] % pj64 * (consts[i, j] % pj64) % pj64
-                acc %= pj64
-            if correct:
-                q_mod = np.uint64(self.modulus % pj)
-                acc += (pj64 - overflow % pj64 * q_mod % pj64) % pj64
-                acc %= pj64
-        return out
+            overflow = np.rint(fraction).astype(np.uint64)
+        _, dest_col, qmod_col, c_hi, c_lo = self._conversion_tables(dest)
+        # Division-free MAC over every destination modulus at once.  The
+        # constants are split into 16-bit halves, so hi/lo partial dot
+        # products accumulate exactly in uint64 (terms < 2^47, far more
+        # source limbs than any basis has before overflow) and the whole
+        # matrix-vector product costs two integer matmuls plus two
+        # reductions per destination row instead of one division per term.
+        # Exact integer arithmetic ends at the same canonical residue, so
+        # the result is bit-identical to the per-term-reduced kernel.
+        hi = c_hi @ scaled
+        lo = c_lo @ scaled
+        acc = ((hi % dest_col << np.uint64(16)) + lo) % dest_col
+        if correct:
+            acc = (
+                acc + (dest_col - overflow[None, :] % dest_col
+                       * qmod_col % dest_col)
+            ) % dest_col
+        return acc
 
     def convert_exact(self, residues: np.ndarray, dest: "RnsBasis") -> np.ndarray:
         """Exact (centered) base conversion through big-int CRT; test oracle."""

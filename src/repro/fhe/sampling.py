@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.fhe.poly import EVAL, RnsPoly
 from repro.fhe.rns import RnsBasis
+from repro.obs import collector as obs
 from repro.reliability.errors import ParameterError
 
 ERROR_SIGMA = 3.2  # standard deviation of the LWE error, per the HE standard
@@ -57,13 +58,33 @@ def error_poly(
     return RnsPoly.from_integers(basis, gaussian_error(degree, rng, sigma), EVAL)
 
 
+# KSHGen stream cache: (moduli, degree, seed, stream) -> RnsPoly.  The
+# expansion is deterministic, so the result is a pure function of the key -
+# ARK's inter-operation key reuse applied to the PRNG streams themselves.
+# Bounded FIFO so long-running servers with many hints cannot grow without
+# limit; entries are immutable by convention (consumers copy before writing).
+_STREAM_CACHE: dict[tuple, RnsPoly] = {}
+_STREAM_CACHE_MAX = 256
+
+
 def seeded_uniform_poly(basis: RnsBasis, degree: int, seed, stream: int) -> RnsPoly:
     """Deterministically expand (seed, stream) into a uniform poly over basis.
 
     This is the storage/bandwidth saving the KSHGen unit provides: callers
     keep the seed and regenerate the uniform half of a hint on demand.  The
     same (seed, stream) pair always yields the same polynomial, which is the
-    property keyswitch hints rely on.
+    property keyswitch hints rely on - and what makes the keyed cache above
+    sound: repeated expansions are lookups, not PRNG work.
     """
+    key = (basis.moduli, degree, seed, stream)
+    poly = _STREAM_CACHE.get(key)
+    if poly is not None:
+        obs.count("fhe.cache.kshgen.hit")
+        return poly
+    obs.count("fhe.cache.kshgen.miss")
     rng = np.random.Generator(np.random.Philox(key=seed, counter=[0, 0, 0, stream]))
-    return RnsPoly.uniform_random(basis, degree, rng, EVAL)
+    poly = RnsPoly.uniform_random(basis, degree, rng, EVAL)
+    if len(_STREAM_CACHE) >= _STREAM_CACHE_MAX:
+        _STREAM_CACHE.pop(next(iter(_STREAM_CACHE)))
+    _STREAM_CACHE[key] = poly
+    return poly

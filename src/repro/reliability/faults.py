@@ -131,10 +131,13 @@ class FaultInjector:
                 return False
         elif not (self.rates[site] and self.rng.random() < self.rates[site]):
             return False
-        flat = data.reshape(-1)
-        word = int(self.rng.integers(flat.size))
+        # Index through unravel_index rather than reshape(-1): reshape
+        # returns a *copy* for non-contiguous inputs, which would consume
+        # the arm while silently dropping the corruption.  For contiguous
+        # arrays this picks the identical word (both use C order).
+        word = int(self.rng.integers(data.size))
         bit = np.uint64(1) << np.uint64(self.rng.integers(self.max_bit))
-        flat[word] ^= bit
+        data[np.unravel_index(word, data.shape)] ^= bit
         self.injected[site] += 1
         obs.count(f"reliability.faults.injected.{site}")
         return True

@@ -1,0 +1,53 @@
+"""FHE-suite fixtures: expensive objects are built once per session.
+
+Prime search, NTT table generation and bootstrap key generation dominate
+test *setup* time, so the shared objects live here at session scope and
+individual modules only build what is unique to them.  Fixtures must not
+be mutated (FHE operations are functional and return new objects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe.bootstrap import Bootstrapper
+from repro.fhe.ckks import CkksContext, CkksParams
+from repro.fhe.primes import find_ntt_primes
+from repro.fhe.rns import RnsBasis
+
+
+@pytest.fixture(scope="session")
+def prime_pool():
+    """30-bit NTT-friendly primes usable for any degree up to 1024."""
+    return tuple(find_ntt_primes(24, 30, 1024))
+
+
+@pytest.fixture(scope="session")
+def make_basis(prime_pool):
+    """Build an RnsBasis from a slice of the shared prime pool."""
+
+    def _make(count: int, offset: int = 0) -> RnsBasis:
+        if offset + count > len(prime_pool):
+            raise ValueError("prime pool exhausted")
+        return RnsBasis(prime_pool[offset : offset + count])
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def boot():
+    """Bootstrap-capable context shared by every bootstrapping test."""
+    params = CkksParams(degree=512, max_level=15, digits=1,
+                        secret_hamming=16, seed=11)
+    ctx = CkksContext(params)
+    sk = ctx.keygen()
+    return ctx, sk, Bootstrapper(ctx, sk)
+
+
+def rand_rows(basis: RnsBasis, degree: int, seed: int) -> np.ndarray:
+    """Uniform (L, N) residue matrix for differential tests."""
+    rng = np.random.default_rng(seed)
+    return np.stack([
+        rng.integers(0, q, size=degree, dtype=np.uint64) for q in basis
+    ])

@@ -10,14 +10,8 @@ import pytest
 from repro.fhe.bootstrap import BootstrapConfig, Bootstrapper
 from repro.fhe.ckks import CkksContext, CkksParams
 
-
-@pytest.fixture(scope="module")
-def boot():
-    params = CkksParams(degree=512, max_level=15, digits=1,
-                        secret_hamming=16, seed=11)
-    ctx = CkksContext(params)
-    sk = ctx.keygen()
-    return ctx, sk, Bootstrapper(ctx, sk)
+# The bootstrap-capable context is expensive to key; it is the
+# session-scoped ``boot`` fixture in tests/fhe/conftest.py.
 
 
 def test_config_derivation(boot):

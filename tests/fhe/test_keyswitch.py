@@ -110,10 +110,29 @@ def test_hint_seeded_expansion_is_deterministic(setup):
 
 def test_hint_seed_changes_a_poly(setup):
     ctx, sk, _ = setup
-    h1 = ctx.relin_hint(sk)
-    h2 = ctx.relin_hint(sk)
+    s = sk.poly(ctx.full_basis)
+    h1 = generate_hint(s, s, ctx.q_basis, ctx.aux_basis, ctx.params.alpha,
+                       ctx.rng, seed=41)
+    h2 = generate_hint(s, s, ctx.q_basis, ctx.aux_basis, ctx.params.alpha,
+                       ctx.rng, seed=42)
     assert h1.seed != h2.seed
     assert not np.array_equal(h1.a_poly(0).data, h2.a_poly(0).data)
+
+
+def test_context_hints_are_cached(setup):
+    """ARK-style hint reuse: repeated requests return the same hint object
+    instead of re-sampling uniforms (and re-spending a seed)."""
+    ctx, sk, sk2 = setup
+    assert ctx.relin_hint(sk) is ctx.relin_hint(sk)
+    assert ctx.rotation_hint(sk, 1) is ctx.rotation_hint(sk, 1)
+    assert ctx.conjugation_hint(sk) is ctx.conjugation_hint(sk)
+    # Distinct keys, steps, or digit counts miss the cache.
+    assert ctx.relin_hint(sk) is not ctx.relin_hint(sk2)
+    assert ctx.rotation_hint(sk, 1) is not ctx.rotation_hint(sk, 2)
+    assert ctx.rotation_hint(sk, 1, digits=2) is not ctx.rotation_hint(sk, 1)
+    # Rotation steps are keyed modulo the slot count (same automorphism).
+    slots = ctx.params.slots
+    assert ctx.rotation_hint(sk, 1) is ctx.rotation_hint(sk, 1 + slots)
 
 
 def test_hint_size_words_counts_stored_half_only(setup):

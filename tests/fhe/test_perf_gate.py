@@ -1,0 +1,108 @@
+"""Perf-regression gate for the limb-batched kernels.
+
+Times the batched kernel against the per-limb/per-poly reference oracle
+*in the same process on the same data* at a fixed shape (N=4096, L=8)
+and fails if the speedup ratio drops below the floor recorded in
+``tests/baselines/fhe_perf_floor.json``.  Because both sides run on the
+same machine in the same run, the gate is machine-relative: absolute
+speed does not matter, only the batching advantage.  A refactor that
+quietly reintroduces a per-limb Python loop drives the ratio to ~1.0
+and fails every floor.
+
+Timing discipline: best-of-N (minimum over rounds) is the standard way
+to reject scheduler noise when gating on ratios; both sides use it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.fhe.ntt import BatchedNttContext, NttContext
+from repro.fhe.poly import EVAL, RnsPoly, batch_rescale
+from repro.fhe.primes import find_ntt_primes
+from repro.fhe.rns import RnsBasis
+
+FLOOR_FILE = Path(__file__).parent.parent / "baselines" / "fhe_perf_floor.json"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = json.loads(FLOOR_FILE.read_text())
+    degree, limbs = spec["degree"], spec["limbs"]
+    primes = tuple(find_ntt_primes(limbs, 30, degree))
+    basis = RnsBasis(primes)
+    rng = np.random.default_rng(2024)
+    data = np.stack([
+        rng.integers(0, q, degree, dtype=np.uint64) for q in primes
+    ])
+    return spec["floors"], basis, data
+
+
+def _best_of(fn, reps: int = 3, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def test_batched_ntt_beats_per_limb_floor(gate):
+    floors, basis, data = gate
+    batched = BatchedNttContext.get(basis.moduli, data.shape[1])
+    limbs = [NttContext.get(q, data.shape[1]) for q in basis.moduli]
+
+    def per_limb_forward():
+        return np.stack([c._forward(data[i]) for i, c in enumerate(limbs)])
+
+    def per_limb_inverse():
+        return np.stack([c._inverse(data[i]) for i, c in enumerate(limbs)])
+
+    fwd_ratio = _best_of(per_limb_forward) / _best_of(
+        lambda: batched._forward(data))
+    inv_ratio = _best_of(per_limb_inverse) / _best_of(
+        lambda: batched._inverse(data))
+    assert fwd_ratio >= floors["ntt_forward"], (
+        f"batched forward NTT speedup {fwd_ratio:.2f}x fell below the "
+        f"floor {floors['ntt_forward']}x - a per-limb loop crept back in?"
+    )
+    assert inv_ratio >= floors["ntt_inverse"], (
+        f"batched inverse NTT speedup {inv_ratio:.2f}x fell below the "
+        f"floor {floors['ntt_inverse']}x"
+    )
+
+
+def test_batch_rescale_beats_per_poly_floor(gate):
+    floors, basis, data = gate
+    polys = [
+        RnsPoly(basis, data, EVAL),
+        RnsPoly(basis, data * np.uint64(3) % basis.moduli_col, EVAL),
+    ]
+    ratio = _best_of(lambda: [p.rescale() for p in polys]) / _best_of(
+        lambda: batch_rescale(polys))
+    assert ratio >= floors["rescale"], (
+        f"batch_rescale speedup {ratio:.2f}x fell below the floor "
+        f"{floors['rescale']}x - lazy transforms regressed?"
+    )
+
+
+def test_eval_automorphism_beats_roundtrip_floor(gate):
+    floors, basis, data = gate
+    poly = RnsPoly(basis, data, EVAL)
+    k = 5
+
+    def roundtrip():
+        return poly.to_coeff().automorphism(k).to_eval()
+
+    ratio = _best_of(roundtrip) / _best_of(lambda: poly.automorphism(k))
+    assert ratio >= floors["eval_automorphism"], (
+        f"EVAL-domain automorphism speedup {ratio:.2f}x fell below the "
+        f"floor {floors['eval_automorphism']}x - rotations are paying "
+        "for NTTs again?"
+    )
