@@ -16,15 +16,24 @@ Acceptance criteria (shape, not absolute numbers):
   K-chip clean points - losing a chip costs one chip's worth, never
   more; model-parallel stays within the surviving-chip fraction of its
   own clean point (its pipeline balance is non-monotonic in K);
+* model-parallel latency (``clean_batch_cycles``, the serialized
+  pipeline fill) is never better than its steady-state beat times the
+  stage count - overlap buys throughput, not first-batch latency;
 * everything is deterministic: the table only moves when the
   partitioner, the interconnect model, or the simulator changes.
+
+On top of the shape checks, the absolute ``scaling_gate`` runs over the
+full row set: 8-chip model-parallel packed_bootstrap must hold >= 3.0x,
+and every data-parallel row must be bit-identical to the pre-overlap
+serialized all-reduce model (recomputed here explicitly).
 """
 
 from __future__ import annotations
 
 from conftest import emit
 
-from repro.pod.scaling import CHIP_SWEEP, scaling_rows, scaling_table
+from repro.pod.scaling import (CHIP_SWEEP, scaling_gate, scaling_rows,
+                               scaling_table)
 from repro.workloads import DEEP_BENCHMARKS
 
 
@@ -53,10 +62,22 @@ def test_pod_scaling_table(benchmark):
                 # N-1 model-parallel: the pipeline is balance-limited
                 # and non-monotonic in K (packed_bootstrap's big hoist
                 # groups cap the cut), so anchor to its own clean point
-                # scaled by the surviving-chip fraction.
-                assert model["degraded_speedup"] < model["clean_speedup"]
+                # scaled by the surviving-chip fraction.  Equality is
+                # legal: when the same hoist-group-capped bottleneck
+                # stage survives the recut (packed_bootstrap at 8
+                # chips), losing a chip costs nothing at steady state.
+                assert model["degraded_speedup"] <= model["clean_speedup"]
                 assert model["degraded_speedup"] >= 0.8 \
                     * model["clean_speedup"] * (chips - 1) / chips, \
                     (name, chips)
                 # The interconnect is busier in model-parallel cuts.
                 assert model["link_words"] >= data["link_words"], name
+                # Overlap buys throughput, never first-batch latency:
+                # the serialized fill walks every stage end to end.
+                assert model["clean_batch_cycles"] \
+                    >= model["clean_cycles_per_batch"] - 1e-9, name
+
+    # Absolute acceptance gates over the full sweep (same checks the
+    # pod-smoke CI job runs standalone for packed_bootstrap).
+    problems = scaling_gate(rows)
+    assert not problems, problems

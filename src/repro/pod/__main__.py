@@ -3,8 +3,11 @@
 Runs the seeded pod fault campaign (`repro.pod.campaign`), prints its
 report, and optionally regression-checks against the committed baseline
 (``--check``) exactly like the reliability and serving CLIs - CI runs
-``--campaign --check`` as the pod smoke gate.  ``--scaling`` prints the
-1/2/4/8-chip throughput table instead.
+``--campaign --check`` plus ``--gate`` as the pod smoke gate.
+``--scaling`` prints the 1/2/4/8-chip throughput table instead;
+``--gate`` runs the absolute scaling acceptance checks (8-chip
+model-parallel speedup floor, data rows bit-identical to the
+pre-overlap serialized model).
 """
 
 from __future__ import annotations
@@ -43,7 +46,22 @@ def main(argv=None) -> int:
                              "of the report")
     parser.add_argument("--scaling", action="store_true",
                         help="print the 1/2/4/8-chip throughput table")
+    parser.add_argument("--gate", action="store_true",
+                        help="run the absolute scaling gate (model "
+                             "speedup floor + data-row bit-identity)")
     args = parser.parse_args(argv)
+
+    if args.gate:
+        from repro.pod.scaling import scaling_gate
+
+        problems = scaling_gate()
+        if problems:
+            print(f"SCALING GATE FAILED ({len(problems)} problems):")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print("scaling gate passed")
+        return 0
 
     if args.scaling:
         from repro.pod.scaling import scaling_table

@@ -12,11 +12,16 @@ directly with :class:`~repro.core.simulator.SimResult`:
   port in total (bandwidth-optimal; the reduce-scatter + all-gather
   decomposition the distribution-strategies RFC sketches).
 
-The serialized-cycles helpers convert a chip's link obligations into an
-``extra_streams`` entry for :func:`repro.core.simulator.simulate`, which
-charges them to the chip's memory clock at the link's (much slower)
-rate - that is what makes the interconnect *visible* as the scaling
-bottleneck instead of a free abstraction.
+The cycle helpers convert a chip's link obligations into stream entries
+for :func:`repro.core.simulator.simulate`.  Charged through
+``extra_streams`` they serialize onto the chip's memory clock at the
+link's (much slower) rate - the pre-overlap model, still used for the
+data-parallel all-reduce.  Charged through ``overlap_streams`` each
+direction of the link is its own *double-buffered port* running
+concurrently with compute (``link_in`` / ``link_out`` are separate
+streams, full duplex), which is what lets a pipelined stage cost
+``max(compute, comm)`` instead of ``compute + comm``; see
+docs/POD.md "Overlap & pipelining".
 """
 
 from __future__ import annotations
@@ -37,6 +42,17 @@ class LinkModel:
     @property
     def words_per_cycle(self) -> float:
         return self.pod.link_words_per_cycle(self.chip)
+
+    @staticmethod
+    def ring_hops(src: int, dst: int, k: int) -> int:
+        """Hops between chips ``src`` and ``dst`` on a bidirectional
+        ``k``-ring: the shorter way around, so the last-to-first
+        wraparound leg (e.g. ``0 -> 7`` on 8 chips) is one hop, not
+        ``k - 1``."""
+        if k <= 1:
+            return 0
+        d = (dst - src) % k
+        return min(d, k - d)
 
     def transfer_cycles(self, words: float, hops: int = 1) -> float:
         """One point-to-point transfer, ``hops`` ring hops away."""

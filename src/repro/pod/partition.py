@@ -6,11 +6,18 @@ Two strategies, mirroring the tf-encrypted distribution-strategies RFC:
   serves ``1/K`` of the batch; the only cross-chip traffic is the
   all-reduce that merges per-shard outputs (secure-aggregation style).
 * **model-parallel** (sharded): the op stream is cut into K contiguous
-  stages balanced by modeled compute cycles, and every value that
-  crosses a cut becomes a link transfer - priced with the same
-  word-weights `compiler/ordering.py` uses for register-file pressure
-  (``raised_words`` for hoisted digit objects, ``ciphertext_words``
-  otherwise).
+  stages, and every value that crosses a cut becomes a link transfer -
+  priced with the same word-weights `compiler/ordering.py` uses for
+  register-file pressure (``raised_words`` for hoisted digit objects,
+  ``ciphertext_words`` otherwise).  Two cutters compete per workload:
+  the greedy cycle-weight balance (PR 8) and a boundary-search balanced
+  *min-cut* that binary-searches the pipeline bottleneck under the
+  overlap cost model, trading stage weight against the live words at
+  each boundary.  Like every other simulator-gated pass, both
+  candidates are priced through the real simulator (under
+  ``obs.paused()``) and the cheaper steady state wins - the min-cut can
+  never pessimize a workload (``compiler.mincut.*`` counters record the
+  verdicts).
 
 Cut edges are *stitched*: the producer shard gains an ``OUTPUT`` op (the
 value leaves the chip) and the consumer shard an ``INPUT`` op (it
@@ -26,10 +33,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import ChipConfig
 from repro.core.cost import ciphertext_words, op_cost, raised_words
 from repro.ir import HOIST_MODUP, INPUT, OUTPUT, HomOp, Program
+from repro.obs import collector as obs
 from repro.pod.config import DATA_PARALLEL, MODEL_PARALLEL, PodConfig
+from repro.pod.interconnect import LinkModel
 
 
 @dataclass(frozen=True)
@@ -40,6 +51,7 @@ class CutEdge:
     src: int            # producing chip (shard index)
     dst: int            # consuming chip
     words: float        # transfer size (ordering.py word weights)
+    hops: int = 1       # bidirectional-ring distance src -> dst
 
 
 @dataclass
@@ -63,6 +75,11 @@ class Partition:
     strategy: str
     shards: list[Shard]
     edges: list[CutEdge] = field(default_factory=list)
+    # Stage SimResults from the min-cut gate's pricing runs, aligned
+    # with ``shards``; ``simulate_pod`` reuses them when no collector,
+    # cache, or checkpointing would change the outcome.
+    _gate_results: list | None = field(default=None, repr=False,
+                                       compare=False)
 
     @property
     def chips(self) -> int:
@@ -110,6 +127,98 @@ def _cut_points(program: Program, cfg: ChipConfig, chips: int) -> list[int]:
     return bounds
 
 
+def _mincut_points(program: Program, cfg: ChipConfig, pod: PodConfig,
+                   chips: int) -> list[int]:
+    """Balanced min-cut boundaries under the overlap cost model.
+
+    Binary-searches the pipeline bottleneck T: a stage ``[s, e)`` is
+    feasible at T when its estimated overlapped cost -
+    ``max(weight + boundary crossings, comm(s), comm(e))``, with
+    ``comm(b)`` the link time of the live words at boundary ``b`` -
+    stays under T.  Each probe places boundaries greedily
+    farthest-feasible (vectorized over candidate boundaries), honouring
+    the hoist-group mask.  The result is a heuristic, not a proof: the
+    simulator gate in :func:`partition` has the final word.
+    """
+    ops = program.ops
+    n = program.degree
+    n_ops = len(ops)
+    if chips <= 1 or n_ops < 2:
+        return []
+    weights = np.fromiter((_op_weight(cfg, op, n) for op in ops),
+                          dtype=float, count=n_ops)
+    prefix = np.zeros(n_ops + 1)
+    np.cumsum(weights, out=prefix[1:])
+
+    # Live words at each boundary b (cut between ops b-1 and b): every
+    # value produced before b with a consumer at or after b, via a
+    # diff-array over the (producer, last consumer] index interval.
+    last_use: dict[str, int] = {}
+    for i, op in enumerate(ops):
+        for operand in op.operands:
+            last_use[operand] = i
+    diff = np.zeros(n_ops + 2)
+    for p, op in enumerate(ops):
+        if op.kind == OUTPUT:
+            continue
+        last = last_use.get(op.result, -1)
+        if last <= p:
+            continue
+        w = _value_words(n, op)
+        diff[p + 1] += w
+        diff[last + 1] -= w
+    live = np.cumsum(diff[:n_ops + 1])
+    live[0] = 0.0
+    live[n_ops] = 0.0
+
+    link_wpc = pod.link_words_per_cycle(cfg)
+    lat = pod.link_latency_cycles
+    comm = np.where(live > 0, lat + live / link_wpc, 0.0)
+    cross = live / cfg.hbm_words_per_cycle  # memory-system crossing
+    value = prefix + cross                  # stage-cost numerator at e
+    safe = np.ones(n_ops + 1, dtype=bool)
+    safe[0] = False
+    for b in range(1, n_ops):
+        if ops[b - 1].kind == HOIST_MODUP:
+            safe[b] = False
+
+    def place(target: float) -> list[int] | None:
+        """Greedy farthest-feasible boundaries for bottleneck ``target``;
+        None when some stage cannot stay under it."""
+        bounds: list[int] = []
+        s = 0
+        while len(bounds) < chips - 1:
+            budget = target + prefix[s] - cross[s]
+            lo = s + 1
+            ok = safe[lo:] & (value[lo:] <= budget) & (comm[lo:] <= target)
+            idx = np.nonzero(ok)[0]
+            if idx.size == 0:
+                return None
+            e = lo + int(idx[-1])
+            if e == n_ops:
+                return bounds    # the rest fits in this stage
+            bounds.append(e)
+            s = e
+        if prefix[n_ops] - prefix[s] + cross[s] > target \
+                or comm[s] > target:
+            return None
+        return bounds
+
+    hi = float(prefix[n_ops])
+    best = place(hi)
+    if best is None:             # cannot happen (one stage always fits)
+        return _cut_points(program, cfg, chips)
+    lo_t = 0.0
+    for _ in range(48):
+        mid = (lo_t + hi) / 2.0
+        bounds = place(mid)
+        if bounds is None:
+            lo_t = mid
+        else:
+            best, hi = bounds, mid
+    return best
+
+
 def partition(program: Program, cfg: ChipConfig, pod: PodConfig,
               chips: int | None = None) -> Partition:
     """Shard ``program`` across ``chips`` chips (default: the pod's
@@ -117,7 +226,55 @@ def partition(program: Program, cfg: ChipConfig, pod: PodConfig,
     k = pod.chips if chips is None else chips
     if pod.strategy == DATA_PARALLEL:
         return _partition_data(program, k)
-    return _partition_model(program, cfg, k)
+    return _gate_model(program, cfg, pod, k)
+
+
+def _gate_model(program: Program, cfg: ChipConfig, pod: PodConfig,
+                chips: int) -> Partition:
+    """Race the greedy balance against the min-cut under the real
+    simulator (overlap streams armed, tracing paused) and keep the
+    cheaper steady state - the min-cut never pessimizes a workload."""
+    greedy_bounds = _cut_points(program, cfg, chips)
+    greedy = _partition_model(program, cfg, pod, chips, greedy_bounds)
+    if chips <= 1 or len(program.ops) < 2:
+        return greedy
+    tr = obs.active()
+    if tr is not None:
+        tr.count("compiler.mincut.considered")
+    mincut_bounds = _mincut_points(program, cfg, pod, chips)
+    if mincut_bounds == greedy_bounds:
+        if tr is not None:
+            tr.count("compiler.mincut.rejected")
+        return greedy
+    mincut = _partition_model(program, cfg, pod, chips, mincut_bounds)
+
+    from repro.pod.simulator import stage_results
+
+    with obs.paused():
+        greedy_res = stage_results(greedy, cfg, pod)
+        mincut_res = stage_results(mincut, cfg, pod)
+
+    def cost(results):
+        # Steady-state bottleneck first, fill latency as the tiebreak.
+        return (max(r.cycles for r in results),
+                sum(r.serialized_cycles for r in results))
+
+    greedy_cost, mincut_cost = cost(greedy_res), cost(mincut_res)
+    if mincut_cost < greedy_cost:
+        if tr is not None:
+            tr.count("compiler.mincut.applied")
+            tr.count("compiler.mincut.cycles_saved",
+                     greedy_cost[0] - mincut_cost[0])
+            saved = sum(e.words * e.hops for e in greedy.edges) \
+                - sum(e.words * e.hops for e in mincut.edges)
+            if saved > 0:
+                tr.count("compiler.mincut.cut_words_saved", saved)
+        mincut._gate_results = mincut_res
+        return mincut
+    if tr is not None:
+        tr.count("compiler.mincut.rejected")
+    greedy._gate_results = greedy_res
+    return greedy
 
 
 def _partition_data(program: Program, chips: int) -> Partition:
@@ -130,11 +287,13 @@ def _partition_data(program: Program, chips: int) -> Partition:
     return Partition(strategy=DATA_PARALLEL, shards=shards)
 
 
-def _partition_model(program: Program, cfg: ChipConfig,
-                     chips: int) -> Partition:
+def _partition_model(program: Program, cfg: ChipConfig, pod: PodConfig,
+                     chips: int, bounds: list[int] | None = None,
+                     ) -> Partition:
     ops = program.ops
     n = program.degree
-    bounds = _cut_points(program, cfg, chips)
+    if bounds is None:
+        bounds = _cut_points(program, cfg, chips)
     starts = [0, *bounds]
     ends = [*bounds, len(ops)]
     chunks = [tuple(range(s, e)) for s, e in zip(starts, ends)]
@@ -172,8 +331,10 @@ def _partition_model(program: Program, cfg: ChipConfig,
                 kind=INPUT, level=p.level, result=value, tag="pod-cut",
             ))
             in_words += words
-            edges.append(CutEdge(value=value, src=chunk_of[value], dst=c,
-                                 words=words))
+            src = chunk_of[value]
+            edges.append(CutEdge(
+                value=value, src=src, dst=c, words=words,
+                hops=LinkModel.ring_hops(src, c, chips)))
 
         shards.append(Shard(
             chip=c,

@@ -91,9 +91,19 @@ from repro.workloads.serving import (
 
 class Server:
     """One serving front-end over one simulated chip - or, with a
-    :class:`~repro.pod.config.PodConfig`, over a pod of them: batches
-    dispatch onto the earliest-free alive chip, :meth:`fail_chip`
-    degrades capacity (N-1 ETAs, typed shedding once empty)."""
+    :class:`~repro.pod.config.PodConfig`, over a pod of them.
+
+    A *data-parallel* pod is K independent lanes: batches dispatch onto
+    the earliest-free alive chip, :meth:`fail_chip` degrades capacity
+    (N-1 ETAs, typed shedding once empty).  A *model-parallel* pod is
+    **one logical lane with pipelined occupancy**: a batch's latency is
+    the pod's fill time (:attr:`~repro.pod.simulator.PodResult.
+    batch_cycles`), but the lane frees after one steady-state beat
+    (``cycles_per_batch`` - the slowest overlapped stage), so
+    back-to-back batches stream through the pipeline and serving
+    throughput reflects the overlap win.  :meth:`fail_chip` on a model
+    pod repartitions the pipeline over the survivors (service times are
+    re-simulated); the last chip's death empties the lane set."""
 
     def __init__(self, cfg: ServeConfig | None = None,
                  clock: VirtualClock | None = None,
@@ -106,9 +116,11 @@ class Server:
         self.chip = chip or ChipConfig()
         # Optional repro.pod.PodConfig: batches dispatch onto the
         # earliest-free alive chip (data-parallel lanes; each batch is
-        # one ciphertext, so a lane is a whole chip).  None = the
-        # single-chip server of PR 7, bit-for-bit.
+        # one ciphertext, so a lane is a whole chip) or, model-parallel,
+        # onto one pipelined pod lane.  None = the single-chip server of
+        # PR 7, bit-for-bit.
         self.pod = pod
+        self._model_pod = pod is not None and pod.strategy == "model"
         self.cache = cache          # compile-cache handle (PR 6 semantics)
         # Hook for fault campaigns: fault_factory(batch_id, attempt,
         # steps) -> steps, free to wrap step fns and arm the injector.
@@ -138,9 +150,12 @@ class Server:
         self.breakers: dict[str, CircuitBreaker] = {}
         self.responses: list[Response] = []
         self.batches: list[BatchRecord] = []
-        lanes = pod.chips if pod is not None else 1
-        self.chips_free_at = [0.0] * lanes  # per-chip residency
+        # A model-parallel pod is a single logical lane (the pipeline);
+        # its physical chips are tracked in pod_failed, not in `alive`.
+        lanes = 1 if (pod is None or self._model_pod) else pod.chips
+        self.chips_free_at = [0.0] * lanes  # per-lane residency
         self.alive: set[int] = set(range(lanes))
+        self.pod_failed: set[int] = set()   # model pod: dead physical chips
         self.busy_s = 0.0           # chip seconds actually occupied
         self.phase_seconds: dict[str, float] = {}  # tag -> chip seconds
         self._next_request_id = 0
@@ -185,6 +200,26 @@ class Server:
         state to migrate - each batch lives on exactly one chip - so
         N-1 degradation here is purely a capacity event.
         """
+        if self._model_pod:
+            # Pipelined pod lane: the chip is a *stage host*, not a
+            # lane.  The survivors repartition (degraded N-1 pipeline),
+            # so every memoized service time is stale - drop the cache
+            # and re-simulate on demand; the lane itself only dies with
+            # the last chip.
+            if chip in self.pod_failed or not 0 <= chip < self.pod.chips:
+                raise ParameterError(
+                    "cannot fail a chip that is not alive", chip=chip,
+                    alive=sorted(set(range(self.pod.chips))
+                                 - self.pod_failed))
+            self.pod_failed.add(chip)
+            self._count("pod.chip_failures")
+            if len(self.pod_failed) == self.pod.chips:
+                self.alive.discard(0)
+            else:
+                self._service.clear()
+            obs.gauge("serve.pod.alive",
+                      float(self.pod.chips - len(self.pod_failed)))
+            return
         if chip not in self.alive:
             raise ParameterError("cannot fail a chip that is not alive",
                                  chip=chip, alive=sorted(self.alive))
@@ -218,14 +253,16 @@ class Server:
         return self._steps[kind]
 
     def service_seconds(self, kind: str, occupancy: int) -> float:
-        """Clean (fault-free) chip service time for one batch.
+        """Clean (fault-free) service *latency* of one batch.
 
         Compiled through the content-addressed compile cache and
         simulated once per (kind, occupancy); every later batch of the
         same shape reuses the memoized schedule - compile-once,
         run-many.  Runs under ``obs.paused()`` so internal compiler and
         simulator counters do not pollute the serving metrics the
-        campaign reconciles.
+        campaign reconciles.  On a model-parallel pod this is the
+        pipeline *fill* time (the batch walks every stage); the lane's
+        steady-state occupancy is :meth:`throughput_seconds`.
         """
         key = (kind, occupancy)
         if key not in self._service:
@@ -233,16 +270,40 @@ class Server:
             with obs.paused():
                 prog = serving_program(kind, c.degree, c.max_level,
                                        c.block_slots, occupancy)
-                compiled = compile_program(prog, self.chip,
-                                           cache=self.cache)
-                sim = simulate(compiled, self.chip)
-            self._service[key] = (sim.cycles / self.chip.clock_hz,
-                                  dict(sim.tag_cycles))
+                if self._model_pod:
+                    from repro.pod.simulator import simulate_pod
+
+                    res = simulate_pod(
+                        prog, self.chip, self.pod,
+                        failed_chips=tuple(sorted(self.pod_failed)),
+                        cache=self.cache or None)
+                    tags: dict[str, float] = {}
+                    for stage in res.chip_results.values():
+                        for tag, cyc in stage.tag_cycles.items():
+                            tags[tag] = tags.get(tag, 0.0) + cyc
+                    self._service[key] = (res.batch_seconds,
+                                          res.seconds_per_batch, tags)
+                else:
+                    compiled = compile_program(prog, self.chip,
+                                               cache=self.cache)
+                    sim = simulate(compiled, self.chip)
+                    seconds = sim.cycles / self.chip.clock_hz
+                    self._service[key] = (seconds, seconds,
+                                          dict(sim.tag_cycles))
         return self._service[key][0]
+
+    def throughput_seconds(self, kind: str, occupancy: int) -> float:
+        """Steady-state lane occupancy of one batch: equals
+        :meth:`service_seconds` on a single chip or a data-parallel
+        lane; the slowest overlapped pipeline stage on a model-parallel
+        pod (each dispatched batch holds the lane for one pipeline beat,
+        not the whole fill)."""
+        self.service_seconds(kind, occupancy)
+        return self._service[(kind, occupancy)][1]
 
     def _tag_seconds(self, kind: str, occupancy: int) -> dict[str, float]:
         self.service_seconds(kind, occupancy)
-        tags = self._service[(kind, occupancy)][1]
+        tags = self._service[(kind, occupancy)][2]
         hz = self.chip.clock_hz
         return {tag: cyc / hz for tag, cyc in tags.items()}
 
@@ -328,8 +389,11 @@ class Server:
         """
         busy = max(0.0, self.chip_free_at - now)
         lanes = max(1, len(self.alive))
+        # The backlog drains at the lane's *throughput* (one pipeline
+        # beat per batch on a model pod); the request's own batch then
+        # pays the full service latency (pipeline fill).
         drain = (len(self.queue) / self.cfg.max_batch) \
-            * self.service_seconds(kind, self.cfg.max_batch) / lanes
+            * self.throughput_seconds(kind, self.cfg.max_batch) / lanes
         return (busy + drain + self.cfg.batch_window_s
                 + self.service_seconds(kind, 1)
                 + self.cfg.retry_budget_s())
@@ -408,12 +472,18 @@ class Server:
                              degraded=degraded)
         record.cache_hit = (kind, occupancy) in self._service
         service_s = self.service_seconds(kind, occupancy)
+        steady_s = self.throughput_seconds(kind, occupancy)
         steps = self._steps_for(kind)
 
         vec, layout = self.packer.pack(batch)
         master = self.ctx.encrypt_values(self.sk, vec)
 
+        # `duration` is the batch's wall latency (fill time per attempt
+        # on a model pod); `occupancy_s` is how long the lane stays
+        # claimed (one pipeline beat per attempt) - identical floats on
+        # a single chip or data-parallel lane, where service == steady.
         duration = 0.0
+        occupancy_s = 0.0
         state = stats = None
         retries = faults_recovered = 0
         last_error = "UnrecoverableFaultError"
@@ -423,10 +493,13 @@ class Server:
                 run_steps = self.fault_factory(record.batch_id, attempt,
                                                steps)
             duration += service_s
+            occupancy_s += steady_s
             try:
                 state, stats = self._run_attempt(run_steps, kind, master)
                 faults_recovered += stats.detections
-                duration += self._overhead_s(stats)
+                overhead = self._overhead_s(stats)
+                duration += overhead
+                occupancy_s += overhead
                 if c.verify_responses \
                         and not self._verify(state, kind, master):
                     # A fault slipped past every in-executor detector
@@ -437,6 +510,7 @@ class Server:
                     # costs a clean service pass of chip time.
                     self._count("verify_mismatches")
                     duration += service_s
+                    occupancy_s += steady_s
                     state = None
                     last_error = "FaultDetectedError"
             except UnrecoverableFaultError:
@@ -451,15 +525,19 @@ class Server:
                 self._count("retries")
                 pause = self._backoff(attempt + 1)
                 duration += pause
+                occupancy_s += pause
                 obs.count("serve.backoff_s", pause)
 
         completed_at = t0 + duration
-        # Earliest-free alive chip takes the batch (id-tiebroken so the
+        # Earliest-free alive lane takes the batch (id-tiebroken so the
         # schedule is deterministic); single-chip servers have lane 0.
+        # A pipelined pod lane frees after its occupancy, which is
+        # earlier than the batch's completion - the next batch streams
+        # in behind this one.
         lane = min(self.alive, key=lambda k: (self.chips_free_at[k], k))
-        self.chips_free_at[lane] = completed_at
+        self.chips_free_at[lane] = t0 + occupancy_s
         record.chip = lane
-        self.busy_s += duration
+        self.busy_s += occupancy_s
         record.service_s = service_s * (retries + 1)
         record.overhead_s = duration - record.service_s
         record.retries = retries
@@ -483,7 +561,7 @@ class Server:
                     completed_at=completed_at, retries=retries,
                     faults_recovered=faults_recovered,
                     batch_id=record.batch_id, batch_occupancy=occupancy,
-                    chip_seconds=duration / occupancy))
+                    chip_seconds=occupancy_s / occupancy))
             return
 
         decoded = self.ctx.decrypt(self.sk, state["x"])
@@ -497,14 +575,14 @@ class Server:
                     completed_at=completed_at, retries=retries,
                     faults_recovered=faults_recovered,
                     batch_id=record.batch_id, batch_occupancy=occupancy,
-                    chip_seconds=duration / occupancy))
+                    chip_seconds=occupancy_s / occupancy))
                 continue
             self._finish(Response(
                 request=req, status=COMPLETED, value=values[i],
                 completed_at=completed_at, retries=retries,
                 faults_recovered=faults_recovered,
                 batch_id=record.batch_id, batch_occupancy=occupancy,
-                chip_seconds=duration / occupancy))
+                chip_seconds=occupancy_s / occupancy))
 
     def _run_attempt(self, run_steps, kind: str, master):
         """One executor run from the batch's master ciphertext."""

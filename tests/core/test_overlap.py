@@ -1,0 +1,117 @@
+"""Overlap-stream invariants of the core simulator.
+
+The pod layer's double-buffered transfers lean on three algebraic
+guarantees of ``simulate(..., overlap_streams=...)``:
+
+* *never worse than serialized*: the overlapped run's ``cycles`` is
+  bounded by what the same streams cost through ``extra_streams``, and
+  its ``serialized_cycles`` field reproduces that serialized run
+  bit-for-bit (same float ops, same order);
+* *never better than physics*: overlap can hide a transfer behind
+  compute and idle bandwidth, but not shrink the op stream's own
+  critical path or outrun the busiest per-direction port;
+* *telescoping accounting*: per-tag critical-path buckets sum exactly
+  to ``program_cycles`` at every prefetch depth, so the serving layer's
+  per-phase charging never invents or loses a cycle.
+
+Checked property-based on random DAGs x random stream sets, plus spot
+checks on a deep benchmark.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.dsl import FheBuilder
+from repro.core.config import ChipConfig
+from repro.core.simulator import simulate
+from repro.workloads import benchmark
+
+CFG = ChipConfig()
+
+
+def random_program(draw_ops, inputs):
+    """A valid random DAG from a hypothesis-drawn op script."""
+    b = FheBuilder("hyp-overlap", degree=256, max_level=6)
+    values = [b.input(f"x{i}", level=4) for i in range(inputs)]
+    for kind, a, c in draw_ops:
+        va = values[a % len(values)]
+        if kind == "add":
+            values.append(b.add(va, values[c % len(values)]))
+        elif kind == "rotate":
+            values.append(b.rotate(va, steps=1 + c % 7))
+        else:
+            if va.level >= 2:
+                values.append(b.square(va))
+    b.output(values[-1])
+    return b.build()
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["add", "rotate", "square"]),
+              st.integers(0, 63), st.integers(0, 63)),
+    min_size=1, max_size=30)
+
+streams_strategy = st.dictionaries(
+    st.sampled_from(["link_in", "link_out"]),
+    st.tuples(st.floats(1.0, 1e7), st.floats(0.01, 1e4)),
+    min_size=1, max_size=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=ops_strategy, inputs=st.integers(1, 4),
+       streams=streams_strategy)
+def test_overlap_bounded_by_serialized_and_physics(ops, inputs, streams):
+    program = random_program(ops, inputs)
+    overlapped = simulate(program, CFG, overlap_streams=streams)
+    serialized = simulate(program, CFG, extra_streams=streams)
+    # Bit-identical serialized reference: the overlap run carries the
+    # would-have-been cost in the same float ops as extra_streams.
+    assert overlapped.serialized_cycles == serialized.cycles
+    assert overlapped.cycles <= serialized.cycles
+    # Physics floor: the op stream's own critical path and the busiest
+    # per-direction port are irreducible.
+    assert overlapped.cycles >= overlapped.program_cycles
+    assert overlapped.cycles >= overlapped.link_port_cycles
+    # Hidden cycles are exactly the serialized-vs-overlapped gap.
+    assert overlapped.overlap_hidden_cycles == pytest.approx(
+        overlapped.serialized_cycles - overlapped.cycles)
+    # Both models agree on the traffic split (words moved are words
+    # moved, whoever hides them).
+    assert overlapped.traffic_words == serialized.traffic_words
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=ops_strategy, inputs=st.integers(1, 4))
+def test_no_streams_degenerates_to_plain_run(ops, inputs):
+    program = random_program(ops, inputs)
+    plain = simulate(program, CFG)
+    assert plain.serialized_cycles == plain.cycles
+    assert plain.overlap_hidden_cycles == 0.0
+    assert plain.link_port_cycles == 0.0
+    assert plain.program_cycles == plain.cycles
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ops_strategy, inputs=st.integers(1, 4),
+       depth=st.sampled_from([1, 2, 8]))
+def test_tag_cycles_telescope_at_every_prefetch_depth(ops, inputs, depth):
+    program = random_program(ops, inputs)
+    res = simulate(program, CFG.with_prefetch_depth(depth))
+    assert sum(res.tag_cycles.values()) == pytest.approx(
+        res.program_cycles, rel=1e-12)
+
+
+def test_deep_benchmark_overlap_spot_check():
+    """A bandwidth-heavy stream on a real benchmark: some of it hides
+    behind compute, and the accounting identities still close."""
+    program = benchmark("logreg")
+    plain = simulate(program, CFG)
+    words = plain.mem_cycles  # ~1 word/cycle worth of extra transfers
+    streams = {"link_in": (words, 0.5), "link_out": (words, 0.5)}
+    overlapped = simulate(program, CFG, overlap_streams=streams)
+    serialized = simulate(program, CFG, extra_streams=streams)
+    assert overlapped.serialized_cycles == serialized.cycles
+    assert overlapped.cycles < serialized.cycles  # something hid
+    assert overlapped.overlap_hidden_cycles > 0
+    assert overlapped.cycles >= max(plain.cycles, words / 0.5)

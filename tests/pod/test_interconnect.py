@@ -43,6 +43,28 @@ def test_ring_all_reduce_volume(k):
         + link.all_reduce_words(w, k) / link.words_per_cycle)
 
 
+def test_ring_hops_shorter_way_around():
+    """Distance on the bidirectional ring is the shorter arc; the
+    wraparound leg (last chip back to chip 0) is one hop, not K-1."""
+    assert LinkModel.ring_hops(0, 7, 8) == 1   # wraparound leg
+    assert LinkModel.ring_hops(7, 0, 8) == 1   # symmetric
+    assert LinkModel.ring_hops(0, 4, 8) == 4   # antipode
+    assert LinkModel.ring_hops(1, 6, 8) == 3   # 1->0->7->6 backwards
+    assert LinkModel.ring_hops(2, 2, 8) == 0
+    assert LinkModel.ring_hops(0, 1, 2) == 1
+    assert LinkModel.ring_hops(0, 0, 1) == 0   # degenerate single chip
+
+
+@pytest.mark.parametrize("k", [2, 3, 5, 8])
+def test_ring_hops_is_a_metric(k):
+    for a in range(k):
+        for b in range(k):
+            d = LinkModel.ring_hops(a, b, k)
+            assert 0 <= d <= k // 2
+            assert d == LinkModel.ring_hops(b, a, k)
+            assert (d == 0) == (a == b)
+
+
 def test_all_reduce_degenerates_at_one_chip():
     link = LinkModel(CFG, PodConfig(chips=1))
     assert link.all_reduce_words(4096.0, 1) == 0.0

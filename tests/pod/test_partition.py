@@ -12,9 +12,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler.dsl import FheBuilder
+from repro.compiler.hoisting import hoist_rotations
 from repro.core.config import ChipConfig
 from repro.ir import HOIST_MODUP, INPUT, OUTPUT
-from repro.pod import DATA_PARALLEL, MODEL_PARALLEL, PodConfig, partition
+from repro.obs import collector as obs
+from repro.pod import (DATA_PARALLEL, LinkModel, MODEL_PARALLEL, PodConfig,
+                       partition)
 from repro.reliability.validate import validate_program
 from repro.workloads import benchmark
 
@@ -77,10 +80,13 @@ def test_model_parallel_benchmarks_conserve_and_validate(name, chips):
         if shard.program.ops:
             validate_program(shard.program, CFG)
     # Every cut edge crosses shards forward (contiguous cut => the
-    # producer's chunk precedes the consumer's).
+    # producer's chunk precedes the consumer's) at its true ring
+    # distance.
     for e in part.edges:
         assert e.src < e.dst
         assert e.words > 0
+        assert e.hops == LinkModel.ring_hops(e.src, e.dst, chips)
+        assert e.hops >= 1
 
 
 def test_data_parallel_is_mirrored():
@@ -117,11 +123,19 @@ def test_boundary_never_splits_hoist_group():
     inputs=st.integers(1, 4),
     chips=st.integers(1, 6),
     strategy=st.sampled_from([DATA_PARALLEL, MODEL_PARALLEL]),
+    hoist=st.booleans(),
 )
-def test_partition_conservation_property(ops, inputs, chips, strategy):
+def test_partition_conservation_property(ops, inputs, chips, strategy,
+                                         hoist):
     """Union of shards == program; no op duplicated except the
-    deliberate stitched legs (satellite property test)."""
+    deliberate stitched legs; no boundary splits a hoist group - for
+    whichever cutter (greedy or min-cut) wins the simulator gate
+    (satellite property test)."""
     program = random_program(ops, inputs)
+    if hoist:
+        # Hoisted programs carry HOIST_MODUP groups the cutter must
+        # never split (the raised digit object cannot cross the wire).
+        program = hoist_rotations(program, CFG)
     pod = PodConfig(chips=chips, strategy=strategy)
     part = partition(program, CFG, pod)
     if strategy == DATA_PARALLEL:
@@ -134,9 +148,46 @@ def test_partition_conservation_property(ops, inputs, chips, strategy):
     for shard in part.shards:
         if shard.program.ops:
             validate_program(shard.program, CFG)
-    # Edge accounting: shard cut words reconcile with the edge list.
+    # Edge accounting: shard cut words reconcile with the edge list,
+    # and every edge carries its real ring distance.
     for c, shard in enumerate(part.shards):
         in_w = sum(e.words for e in part.edges if e.dst == c)
         out_w = sum(e.words for e in part.edges if e.src == c)
         assert shard.cut_in_words == pytest.approx(in_w)
         assert shard.cut_out_words == pytest.approx(out_w)
+    for e in part.edges:
+        assert e.hops == LinkModel.ring_hops(e.src, e.dst, chips)
+    # No cut directly after a hoist_modup, whichever cutter won.
+    for shard in part.shards[:-1]:
+        if shard.op_indices:
+            assert program.ops[shard.op_indices[-1]].kind != HOIST_MODUP
+
+
+def test_mincut_gate_counters_and_never_pessimizes():
+    """The min-cut candidate is adopted only when the simulator says it
+    wins; either way the gate leaves an audit trail in the
+    ``compiler.mincut.*`` counters."""
+    from repro.pod.simulator import stage_results
+
+    program = benchmark("packed_bootstrap")
+    pod = PodConfig(chips=4, strategy=MODEL_PARALLEL)
+    with obs.collecting() as c:
+        part = partition(program, CFG, pod)
+    considered = c.counters.get("compiler.mincut.considered", 0)
+    applied = c.counters.get("compiler.mincut.applied", 0)
+    rejected = c.counters.get("compiler.mincut.rejected", 0)
+    assert considered == 1
+    assert applied + rejected == considered
+    # packed_bootstrap is where min-cut pays off (the greedy balance
+    # point pushes a fat ciphertext onto the wire).
+    assert applied == 1
+    assert c.counters.get("compiler.mincut.cycles_saved", 0) > 0
+    # Never-pessimize: the adopted partition prices no worse than the
+    # greedy bounds under the exact cost model the pod simulator uses.
+    from repro.pod.partition import _cut_points, _partition_model
+
+    greedy = _partition_model(program, CFG, pod, pod.chips,
+                              bounds=_cut_points(program, CFG, pod.chips))
+    win = max(r.cycles for r in stage_results(part, CFG, pod))
+    base = max(r.cycles for r in stage_results(greedy, CFG, pod))
+    assert win <= base

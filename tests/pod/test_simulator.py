@@ -42,13 +42,41 @@ def test_data_parallel_scales_with_all_reduce_tax(logreg, single):
 def test_model_parallel_pipeline_semantics(logreg, single):
     r = simulate_pod(logreg, CFG,
                      PodConfig(chips=4, strategy=MODEL_PARALLEL))
-    stage_cycles = [res.cycles for res in r.chip_results.values()]
-    assert r.batch_cycles == pytest.approx(sum(stage_cycles))
-    assert r.cycles_per_batch == pytest.approx(max(stage_cycles))
-    # Cut traffic shows up in the shard's traffic dict via extra_streams.
+    results = list(r.chip_results.values())
+    # Fill latency walks an empty pipeline: nothing hides the
+    # transfers, so the batch pays the *serialized* stage cycles.
+    assert r.batch_cycles == pytest.approx(
+        sum(res.serialized_cycles for res in results))
+    # Steady state is the slowest *overlapped* stage.
+    assert r.cycles_per_batch == pytest.approx(
+        max(res.cycles for res in results))
+    assert r.serialized_cycles_per_batch == pytest.approx(
+        max(res.serialized_cycles for res in results))
+    # Cut traffic shows up in the shard's traffic dict via the overlap
+    # streams (double-buffered per-direction ports).
     assert any("link_out" in res.traffic_words
                or "link_in" in res.traffic_words
                for res in r.chip_results.values())
+    # Micro-batch makespan: fill plus one beat per extra batch.
+    assert r.pipeline_cycles(0) == 0.0
+    assert r.pipeline_cycles(1) == pytest.approx(r.batch_cycles)
+    assert r.pipeline_cycles(5) == pytest.approx(
+        r.batch_cycles + 4 * r.cycles_per_batch)
+
+
+def test_model_parallel_overlap_hides_communication():
+    """packed_bootstrap cuts are link-heavy: the overlapped steady
+    state must beat the serialized model, with the gap accounted."""
+    program = benchmark("packed_bootstrap")
+    r = simulate_pod(program, CFG,
+                     PodConfig(chips=4, strategy=MODEL_PARALLEL))
+    assert r.overlap_hidden_cycles > 0
+    assert r.cycles_per_batch < r.serialized_cycles_per_batch
+    # Hop-weighted port traffic can only exceed the logical cut volume.
+    assert r.payload_words > 0
+    assert r.link_words >= r.payload_words
+    # Overlap buys throughput, never first-batch latency.
+    assert r.batch_cycles >= r.cycles_per_batch
 
 
 def test_degraded_pod_repartitions_over_survivors(logreg, single):

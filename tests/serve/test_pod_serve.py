@@ -107,3 +107,59 @@ def test_single_chip_server_is_lane_zero():
     s.chip_free_at = 1.5  # setter used by older tests/tools
     assert s.chips_free_at == [1.5]
     assert s.chip_free_at == 1.5
+
+
+# -- model-parallel pod: one pipelined logical lane ---------------------------
+
+def model_server(chips=4, **kw):
+    return Server(cfg(queue_depth=64, **kw),
+                  pod=PodConfig(chips=chips, strategy="model"))
+
+
+def test_model_pod_is_one_pipelined_lane():
+    s = model_server()
+    assert len(s.chips_free_at) == 1  # the pipeline is one logical lane
+    fill = s.service_seconds("logreg", s.cfg.max_batch)
+    beat = s.throughput_seconds("logreg", s.cfg.max_batch)
+    assert 0 < beat < fill  # micro-batches stream behind each other
+    for i in range(2 * s.cfg.max_batch):
+        s.submit(f"t{i}", "logreg", np.zeros(16), deadline_s=10.0)
+    assert s.pump()
+    done1 = max(r.completed_at for r in s.responses)
+    overhead = done1 - fill
+    # The lane frees after one steady-state beat, while the batch
+    # itself completes only at the fill latency: the next batch can
+    # enter the pipeline while this one is still draining.
+    assert s.chips_free_at[0] == pytest.approx(beat + overhead)
+    assert s.chips_free_at[0] < done1
+    s.clock.advance(s.chips_free_at[0] - s.clock.now())
+    assert s.pump()  # second batch dispatches mid-flight of the first
+    done2 = max(r.completed_at for r in s.responses)
+    assert done2 == pytest.approx(s.clock.now() + fill + overhead)
+    # Chip-seconds are charged at pipeline occupancy, not fill.
+    assert s.busy_s == pytest.approx(2 * (beat + overhead))
+
+
+def test_model_pod_fail_chip_recuts_pipeline():
+    s = model_server(chips=4)
+    beat_clean = s.throughput_seconds("logreg", s.cfg.max_batch)
+    s.fail_chip(2)
+    assert s.tally["pod.chip_failures"] == 1
+    # Cached service times are invalidated; the recut over 3 survivors
+    # has a slower (or equal) beat.
+    beat_degraded = s.throughput_seconds("logreg", s.cfg.max_batch)
+    assert beat_degraded >= beat_clean
+    with pytest.raises(ParameterError):
+        s.fail_chip(2)  # already dead
+    with pytest.raises(ParameterError):
+        s.fail_chip(7)  # outside the pod
+
+
+def test_model_pod_all_chips_dead_sheds_typed():
+    s = model_server(chips=2)
+    s.fail_chip(0)
+    s.fail_chip(1)
+    assert not s.alive
+    with pytest.raises(ChipFailure):
+        s.submit("t0", "logreg", np.zeros(16), deadline_s=1.0)
+    assert s.tally["shed.capacity"] == 1
